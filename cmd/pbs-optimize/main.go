@@ -1,0 +1,51 @@
+// Command pbs-optimize runs the paper's analytical framework (§4–5): it
+// prints the Table 1 success-probability grid and the optimal (n, t)
+// parameters for a given instance, plus the piecewise-reconciliability
+// profile.
+//
+// Usage:
+//
+//	pbs-optimize -d 1000 -delta 5 -r 3 -p0 0.99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbs/internal/exper"
+	"pbs/internal/markov"
+)
+
+func main() {
+	var (
+		d     = flag.Int("d", 1000, "set-difference cardinality")
+		delta = flag.Int("delta", 5, "average distinct elements per group")
+		r     = flag.Int("r", 3, "target number of rounds")
+		p0    = flag.Float64("p0", 0.99, "target success probability")
+	)
+	flag.Parse()
+
+	exper.PrintTable1(os.Stdout, *d, *delta, *r, *p0)
+
+	p, err := markov.Optimize(*d, *delta, *r, *p0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbs-optimize:", err)
+		os.Exit(1)
+	}
+	g := markov.NumGroups(*d, *delta)
+	fmt.Printf("\nOptimal parameters: n = %d (m = %d), t = %d\n", p.N(), p.M, p.T)
+	fmt.Printf("Groups g = %d, success-probability lower bound = %.4f\n", g, p.Bound)
+	fmt.Printf("Per-group communication (first round): %d bits codeword+positions + %d bits sums+checksum = %d bits\n",
+		p.BitsPerGroup, *delta*32+32, p.BitsPerGroup+*delta*32+32)
+
+	c, err := markov.NewChain(p.N(), p.T)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbs-optimize:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nExpected proportion of distinct elements reconciled per round (§5.3):")
+	for i, prop := range c.RoundProportions(*d, g, *r+1) {
+		fmt.Printf("  round %d: %.6g\n", i+1, prop)
+	}
+}

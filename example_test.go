@@ -1,0 +1,66 @@
+package pbs_test
+
+import (
+	"fmt"
+	"sort"
+
+	"pbs"
+)
+
+// ExampleReconcile shows the one-call API: estimate the difference
+// cardinality, pick parameters, and run the protocol in process.
+func ExampleReconcile() {
+	alice := []uint64{10, 20, 30, 40, 50}
+	bob := []uint64{10, 20, 30, 60}
+
+	res, err := pbs.Reconcile(alice, bob, &pbs.Options{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	sort.Slice(res.Difference, func(i, j int) bool { return res.Difference[i] < res.Difference[j] })
+	fmt.Println("complete:", res.Complete)
+	fmt.Println("difference:", res.Difference)
+	// Output:
+	// complete: true
+	// difference: [40 50 60]
+}
+
+// ExamplePlanFor shows explicit parameter planning for a known difference
+// bound, the mode real deployments use after their own estimation step.
+func ExamplePlanFor() {
+	plan, err := pbs.PlanFor(1000, &pbs.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bitmap bins n=%d, BCH capacity t=%d, groups g=%d\n",
+		plan.N(), plan.T, plan.Groups)
+	// Output:
+	// bitmap bins n=127, BCH capacity t=11, groups g=200
+}
+
+// ExampleNewInitiator demonstrates the message-level endpoint API that a
+// networked deployment drives over its own transport.
+func ExampleNewInitiator() {
+	alice := []uint64{1, 2, 3, 4}
+	bob := []uint64{1, 2, 5}
+
+	plan, _ := pbs.PlanFor(4, &pbs.Options{Seed: 3})
+	init, _ := pbs.NewInitiator(alice, plan)
+	resp, _ := pbs.NewResponder(bob, plan)
+
+	for !init.Done() {
+		msg, _ := init.BuildRound() // send this to the peer
+		if msg == nil {
+			break
+		}
+		reply, _ := resp.HandleRound(msg) // peer answers
+		if err := init.AbsorbReply(reply); err != nil {
+			panic(err)
+		}
+	}
+	diff := init.Difference()
+	sort.Slice(diff, func(i, j int) bool { return diff[i] < diff[j] })
+	fmt.Println(diff)
+	// Output:
+	// [3 4 5]
+}

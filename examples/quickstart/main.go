@@ -1,0 +1,64 @@
+// Quickstart: reconcile two in-memory sets with the one-call API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"pbs"
+)
+
+func main() {
+	// Two hosts hold large, mostly overlapping sets of 32-bit item IDs.
+	rng := rand.New(rand.NewSource(7))
+	common := make([]uint64, 100_000)
+	seen := map[uint64]bool{}
+	for i := range common {
+		for {
+			x := uint64(rng.Uint32())
+			if x != 0 && !seen[x] {
+				seen[x] = true
+				common[i] = x
+				break
+			}
+		}
+	}
+	alice := append([]uint64{}, common...)
+	bob := append([]uint64{}, common...)
+	// Alice has 40 items Bob lacks; Bob has 25 items Alice lacks.
+	for i := 0; i < 40; i++ {
+		alice = append(alice, fresh(rng, seen))
+	}
+	for i := 0; i < 25; i++ {
+		bob = append(bob, fresh(rng, seen))
+	}
+
+	// One call: estimate d, pick near-optimal parameters, run the rounds.
+	res, err := pbs.Reconcile(alice, bob, &pbs.Options{Seed: 2024})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sort.Slice(res.Difference, func(i, j int) bool { return res.Difference[i] < res.Difference[j] })
+	fmt.Printf("reconciled: complete=%v |A△B|=%d rounds=%d\n",
+		res.Complete, len(res.Difference), res.Rounds)
+	fmt.Printf("cost: %d payload bytes + %d estimator bytes (theoretical minimum %d bytes)\n",
+		res.PayloadBytes, res.EstimatorBytes, len(res.Difference)*4)
+
+	union := pbs.Union(alice, res)
+	fmt.Printf("after sync Alice holds %d items (was %d)\n", len(union), len(alice))
+}
+
+func fresh(rng *rand.Rand, seen map[uint64]bool) uint64 {
+	for {
+		x := uint64(rng.Uint32())
+		if x != 0 && !seen[x] {
+			seen[x] = true
+			return x
+		}
+	}
+}

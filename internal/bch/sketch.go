@@ -1,0 +1,376 @@
+// Package bch implements BCH "syndrome sketches" of sets, the
+// error-correction substrate of both PBS (§2.5 of the paper) and the
+// PinSketch baseline (§7). It is a from-scratch work-alike of the
+// Minisketch library the paper uses.
+//
+// A sketch of capacity t over GF(2^m) stores the t odd power sums
+// σ_k = Σ_{x∈S} x^k for k = 1, 3, ..., 2t−1 of a set S ⊆ {1, ..., 2^m−1}.
+// Because the field has characteristic 2, adding an element twice cancels
+// it, and XORing two sketches yields the sketch of the symmetric
+// difference. If |S| ≤ t, S can be recovered from its sketch: the even
+// power sums follow from σ_{2k} = σ_k², Berlekamp–Massey finds the error
+// locator polynomial, and its roots (inverted) are the elements of S.
+//
+// In PBS the "set" is the set of bit positions where Alice's and Bob's
+// parity bitmaps differ; in PinSketch it is the set difference A△B itself
+// over the 32-bit universe.
+package bch
+
+import (
+	"errors"
+	"fmt"
+
+	"pbs/internal/gf2"
+	"pbs/internal/wire"
+)
+
+// ErrDecodeFailure is returned by Decode when the sketched set has more
+// elements than the sketch's capacity t (or the syndromes are otherwise
+// inconsistent). This corresponds to the BCH-decoding exception of §3.2.
+var ErrDecodeFailure = errors.New("bch: decoding failure (difference exceeds capacity)")
+
+// Sketch is a BCH syndrome sketch with capacity t over GF(2^m).
+type Sketch struct {
+	f   *gf2.Field
+	t   int
+	odd []uint64 // odd syndromes σ1, σ3, ..., σ_{2t−1}
+}
+
+// New returns an empty sketch over GF(2^m) that can decode up to t set
+// elements. Valid elements are 1..2^m−1 (zero is excluded from the universe,
+// as in §2.1 of the paper).
+func New(m uint, t int) (*Sketch, error) {
+	f, err := gf2.NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("bch: capacity t=%d must be >= 1", t)
+	}
+	if uint64(t) > f.Order()/2 {
+		return nil, fmt.Errorf("bch: capacity t=%d too large for field order %d", t, f.Order())
+	}
+	return &Sketch{f: f, t: t, odd: make([]uint64, t)}, nil
+}
+
+// MustNew is like New but panics on invalid parameters.
+func MustNew(m uint, t int) *Sketch {
+	s, err := New(m, t)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// M returns the field degree.
+func (s *Sketch) M() uint { return s.f.M() }
+
+// T returns the sketch capacity.
+func (s *Sketch) T() int { return s.t }
+
+// Bits returns the serialized size in bits: t·m, matching the "t·log n"
+// codeword-length term of the paper.
+func (s *Sketch) Bits() int { return s.t * int(s.f.M()) }
+
+// Clone returns an independent copy of s.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{f: s.f, t: s.t, odd: make([]uint64, len(s.odd))}
+	copy(c.odd, s.odd)
+	return c
+}
+
+// Add toggles element x in the sketched set. It panics if x is zero or out
+// of field range: the caller owns input validation in this hot path.
+func (s *Sketch) Add(x uint64) {
+	if x == 0 || !s.f.Valid(x) {
+		panic(fmt.Sprintf("bch: element %#x out of range for GF(2^%d)", x, s.f.M()))
+	}
+	xsq := s.f.Sqr(x)
+	w := s.f.Window(xsq)
+	p := x
+	for k := 0; k < s.t; k++ {
+		s.odd[k] ^= p
+		if k+1 < s.t {
+			p = w.Mul(p)
+		}
+	}
+}
+
+// AddSet toggles every element of set.
+func (s *Sketch) AddSet(set []uint64) {
+	for _, x := range set {
+		s.Add(x)
+	}
+}
+
+// Xor merges other into s, so s becomes the sketch of the symmetric
+// difference of the two underlying sets.
+func (s *Sketch) Xor(other *Sketch) error {
+	if s.f != other.f || s.t != other.t {
+		return fmt.Errorf("bch: sketch shape mismatch (m=%d,t=%d vs m=%d,t=%d)",
+			s.f.M(), s.t, other.f.M(), other.t)
+	}
+	for i := range s.odd {
+		s.odd[i] ^= other.odd[i]
+	}
+	return nil
+}
+
+// Empty reports whether all syndromes are zero, which for difference
+// sketches means "no differences detected" (up to the vanishing-XOR
+// corner case handled by the checksum layer above).
+func (s *Sketch) Empty() bool {
+	for _, v := range s.odd {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendTo bit-packs the sketch onto w (t syndromes of m bits each).
+func (s *Sketch) AppendTo(w *wire.Writer) {
+	for _, v := range s.odd {
+		w.WriteBits(v, s.f.M())
+	}
+}
+
+// ReadFrom parses a sketch with shape (m, t) from r.
+func ReadFrom(r *wire.Reader, m uint, t int) (*Sketch, error) {
+	s, err := New(m, t)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < t; i++ {
+		v, err := r.ReadBits(m)
+		if err != nil {
+			return nil, err
+		}
+		s.odd[i] = v
+	}
+	return s, nil
+}
+
+// Decode recovers the sketched set. On success it returns the elements in
+// unspecified order. It returns ErrDecodeFailure when the set cannot be
+// recovered (more than t elements, or inconsistent syndromes).
+func (s *Sketch) Decode() ([]uint64, error) {
+	if s.Empty() {
+		return nil, nil
+	}
+	// Build the full syndrome sequence syn[1..2t] using σ_{2k} = σ_k².
+	syn := make([]uint64, 2*s.t+1)
+	for i := 1; i <= 2*s.t; i++ {
+		if i%2 == 1 {
+			syn[i] = s.odd[(i-1)/2]
+		} else {
+			syn[i] = s.f.Sqr(syn[i/2])
+		}
+	}
+	locator := berlekampMassey(s.f, syn[1:])
+	deg := locator.Degree()
+	if deg < 1 || deg > s.t {
+		return nil, ErrDecodeFailure
+	}
+	roots, err := findRoots(s.f, locator)
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) != deg {
+		return nil, ErrDecodeFailure
+	}
+	// The locator Λ(x) = Π (1 − X_i·x) has roots at X_i^{-1}.
+	elems := make([]uint64, len(roots))
+	for i, r := range roots {
+		elems[i] = s.f.Inv(r)
+	}
+	// Robust failure detection (§3.2): recompute the odd syndromes from the
+	// recovered elements and require an exact match. When the true
+	// difference exceeds t, Berlekamp–Massey may still emit a fully-rooted
+	// locator; this recheck catches essentially all such miscorrections.
+	check := make([]uint64, s.t)
+	for _, x := range elems {
+		w := s.f.Window(s.f.Sqr(x))
+		p := x
+		for k := 0; k < s.t; k++ {
+			check[k] ^= p
+			if k+1 < s.t {
+				p = w.Mul(p)
+			}
+		}
+	}
+	for k := range check {
+		if check[k] != s.odd[k] {
+			return nil, ErrDecodeFailure
+		}
+	}
+	return elems, nil
+}
+
+// berlekampMassey computes the minimal LFSR (the error locator polynomial)
+// for the syndrome sequence syn[0..2t-1] over the field f.
+func berlekampMassey(f *gf2.Field, syn []uint64) gf2.Poly {
+	c := gf2.NewPoly(1) // connection polynomial Λ
+	b := gf2.NewPoly(1)
+	var l int
+	shift := 1
+	bInv := uint64(1) // inverse of the last nonzero discrepancy
+	for n := 0; n < len(syn); n++ {
+		// Discrepancy d = syn[n] + Σ_{i=1}^{l} c[i]·syn[n−i].
+		d := syn[n]
+		for i := 1; i <= l && i < len(c); i++ {
+			d ^= f.Mul(c[i], syn[n-i])
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		coef := f.Mul(d, bInv)
+		// c' = c − coef·x^shift·b
+		nc := c.Clone()
+		for len(nc) < len(b)+shift {
+			nc = append(nc, 0)
+		}
+		w := f.Window(coef)
+		for i, bi := range b {
+			if bi != 0 {
+				nc[i+shift] ^= w.Mul(bi)
+			}
+		}
+		if 2*l <= n {
+			b = c
+			bInv = f.Inv(d)
+			l = n + 1 - l
+			shift = 1
+		} else {
+			shift++
+		}
+		c = gf2.Poly(nc)
+	}
+	// Trim trailing zeros without disturbing l-consistency checks upstream.
+	for len(c) > 0 && c[len(c)-1] == 0 {
+		c = c[:len(c)-1]
+	}
+	return c
+}
+
+// chienThreshold is the largest field degree for which exhaustive root
+// search is used; beyond it the gcd/trace method is used instead.
+const chienThreshold = 16
+
+// findRoots returns the distinct roots of p that lie in f. It returns
+// ErrDecodeFailure if p does not split into distinct linear factors over f
+// (which signals a miscorrection).
+func findRoots(f *gf2.Field, p gf2.Poly) ([]uint64, error) {
+	if p.Degree() < 1 {
+		return nil, nil
+	}
+	if f.M() <= chienThreshold {
+		return chienSearch(f, p)
+	}
+	return traceRootFind(f, p)
+}
+
+// chienSearch exhaustively evaluates p at every nonzero field element.
+func chienSearch(f *gf2.Field, p gf2.Poly) ([]uint64, error) {
+	var roots []uint64
+	deg := p.Degree()
+	for x := uint64(1); x <= f.Order(); x++ {
+		if p.Eval(f, x) == 0 {
+			roots = append(roots, x)
+			if len(roots) == deg {
+				break
+			}
+		}
+	}
+	if len(roots) != deg {
+		return nil, ErrDecodeFailure
+	}
+	return roots, nil
+}
+
+// traceRootFind finds the roots of p using the Berlekamp trace algorithm:
+// first verify that p splits completely over f via gcd(p, x^(2^m) − x),
+// then recursively split with random trace polynomials.
+func traceRootFind(f *gf2.Field, p gf2.Poly) ([]uint64, error) {
+	p = p.Monic(f)
+	// Roots must be distinct: a locator polynomial from a true difference
+	// set is always squarefree; enforce it with gcd(p, p').
+	if !squarefree(f, p) {
+		return nil, ErrDecodeFailure
+	}
+	xq := gf2.PolyFrobeniusPower(f, f.M(), p) // x^(2^m) mod p
+	g := gf2.PolyGCD(f, p, gf2.PolyAdd(xq, gf2.NewPoly(0, 1)))
+	if g.Degree() != p.Degree() {
+		return nil, ErrDecodeFailure // some roots lie outside GF(2^m)
+	}
+	roots := make([]uint64, 0, g.Degree())
+	var betaCtr uint64 = 1
+	var split func(g gf2.Poly) error
+	split = func(g gf2.Poly) error {
+		switch g.Degree() {
+		case 0:
+			return nil
+		case 1:
+			// monic x + c has root c
+			roots = append(roots, g[0])
+			return nil
+		}
+		for attempts := 0; attempts < 64; attempts++ {
+			beta := f.Exp(betaCtr)
+			betaCtr += 0x9E3779B97F4A7C15 % f.Order()
+			tr := tracePolyMod(f, beta, g)
+			w := gf2.PolyGCD(f, g, tr)
+			if w.Degree() > 0 && w.Degree() < g.Degree() {
+				q, _ := gf2.PolyDivMod(f, g, w)
+				if err := split(w); err != nil {
+					return err
+				}
+				return split(q.Monic(f))
+			}
+			// Also try the complementary cofactor via Tr + 1.
+			trc := gf2.PolyAdd(tr, gf2.NewPoly(1))
+			w = gf2.PolyGCD(f, g, trc)
+			if w.Degree() > 0 && w.Degree() < g.Degree() {
+				q, _ := gf2.PolyDivMod(f, g, w)
+				if err := split(w); err != nil {
+					return err
+				}
+				return split(q.Monic(f))
+			}
+		}
+		return ErrDecodeFailure
+	}
+	if err := split(g); err != nil {
+		return nil, err
+	}
+	return roots, nil
+}
+
+// squarefree reports whether p has no repeated roots, via gcd(p, p') == 1.
+func squarefree(f *gf2.Field, p gf2.Poly) bool {
+	// Formal derivative in characteristic 2: odd-degree terms survive.
+	d := make(gf2.Poly, 0, len(p))
+	for i := 1; i < len(p); i += 2 {
+		for len(d) < i-1 {
+			d = append(d, 0)
+		}
+		d = append(d, p[i])
+	}
+	d = gf2.NewPoly(d...)
+	if d.IsZero() {
+		return false // p is a square of another polynomial
+	}
+	return gf2.PolyGCD(f, p, d).Degree() == 0
+}
+
+// tracePolyMod computes Tr(β·x) mod g = Σ_{i=0}^{m−1} (β·x)^(2^i) mod g.
+func tracePolyMod(f *gf2.Field, beta uint64, g gf2.Poly) gf2.Poly {
+	cur := gf2.PolyMod(f, gf2.NewPoly(0, beta), g) // β·x mod g
+	acc := cur.Clone()
+	for i := uint(1); i < f.M(); i++ {
+		cur = gf2.PolySqrMod(f, cur, g)
+		acc = gf2.PolyAdd(acc, cur)
+	}
+	return acc
+}

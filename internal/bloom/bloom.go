@@ -1,0 +1,99 @@
+// Package bloom implements a plain Bloom filter, used by the Graphene
+// baseline (§7 of the PBS paper) to cheaply rule elements out of the peer's
+// set before falling back to an IBF for the residue.
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"pbs/internal/hashutil"
+)
+
+// Filter is a standard Bloom filter over uint64 element IDs.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int
+	seed uint64
+}
+
+// New returns an empty filter with m bits and k hash functions.
+func New(m uint64, k int, seed uint64) (*Filter, error) {
+	if m < 8 {
+		m = 8
+	}
+	if k < 1 || k > 16 {
+		return nil, fmt.Errorf("bloom: k=%d out of range [1,16]", k)
+	}
+	return &Filter{bits: make([]uint64, (m+63)/64), m: m, k: k, seed: seed}, nil
+}
+
+// Params returns the optimal bit count and hash count for storing n elements
+// at false-positive rate fpr: m = −n·ln(fpr)/ln²2, k = (m/n)·ln 2.
+func Params(n uint64, fpr float64) (m uint64, k int) {
+	if fpr <= 0 {
+		fpr = 1e-9
+	}
+	if fpr >= 1 {
+		return 8, 1
+	}
+	mf := -float64(n) * math.Log(fpr) / (math.Ln2 * math.Ln2)
+	m = uint64(math.Ceil(mf))
+	if m < 8 {
+		m = 8
+	}
+	kf := math.Round(mf / float64(n) * math.Ln2)
+	k = int(kf)
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return m, k
+}
+
+// NewOptimal returns an empty filter sized for n elements at the given
+// false-positive rate.
+func NewOptimal(n uint64, fpr float64, seed uint64) *Filter {
+	m, k := Params(n, fpr)
+	f, err := New(m, k, seed)
+	if err != nil {
+		panic(err) // Params always yields valid k
+	}
+	return f
+}
+
+// MBits returns the filter's size in bits.
+func (f *Filter) MBits() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Insert adds x.
+func (f *Filter) Insert(x uint64) {
+	for i := 0; i < f.k; i++ {
+		p := hashutil.XXH64Uint64(x, f.seed+uint64(i)+1) % f.m
+		f.bits[p/64] |= 1 << (p % 64)
+	}
+}
+
+// InsertSet adds every element of set.
+func (f *Filter) InsertSet(set []uint64) {
+	for _, x := range set {
+		f.Insert(x)
+	}
+}
+
+// Contains reports whether x may be in the set (false positives possible,
+// false negatives impossible).
+func (f *Filter) Contains(x uint64) bool {
+	for i := 0; i < f.k; i++ {
+		p := hashutil.XXH64Uint64(x, f.seed+uint64(i)+1) % f.m
+		if f.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

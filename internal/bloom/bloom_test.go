@@ -1,0 +1,90 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewOptimal(1000, 0.01, 7)
+	var inserted []uint64
+	for i := 0; i < 1000; i++ {
+		x := rng.Uint64()
+		f.Insert(x)
+		inserted = append(inserted, x)
+	}
+	for _, x := range inserted {
+		if !f.Contains(x) {
+			t.Fatalf("false negative for %#x", x)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 5000
+	target := 0.02
+	f := NewOptimal(n, target, 3)
+	member := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		x := rng.Uint64()
+		f.Insert(x)
+		member[x] = true
+	}
+	fp, probes := 0, 0
+	for i := 0; i < 200000; i++ {
+		x := rng.Uint64()
+		if member[x] {
+			continue
+		}
+		probes++
+		if f.Contains(x) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > 2.5*target {
+		t.Errorf("fpr = %.4f, target %.4f", rate, target)
+	}
+}
+
+func TestParams(t *testing.T) {
+	m, k := Params(1000, 0.01)
+	// Theory: m/n = 9.58 bits, k = 7.
+	if m < 9000 || m > 10100 {
+		t.Errorf("m = %d, want ~9586", m)
+	}
+	if k != 7 {
+		t.Errorf("k = %d, want 7", k)
+	}
+	// Degenerate inputs must not panic or return nonsense.
+	if m, k := Params(10, 1.5); m < 8 || k < 1 {
+		t.Errorf("degenerate fpr: m=%d k=%d", m, k)
+	}
+	if m, k := Params(10, 0); m == 0 || k < 1 {
+		t.Errorf("zero fpr: m=%d k=%d", m, k)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := NewOptimal(100, 0.01, 0)
+	hits := 0
+	for i := uint64(1); i <= 1000; i++ {
+		if f.Contains(i * 2654435761) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Errorf("empty filter reported %d members", hits)
+	}
+}
+
+func TestKValidation(t *testing.T) {
+	if _, err := New(100, 0, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := New(100, 17, 0); err == nil {
+		t.Error("k=17 should fail")
+	}
+}

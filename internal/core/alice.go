@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pbs/internal/bch"
+	"pbs/internal/hashutil"
+	"pbs/internal/wire"
+)
+
+// Alice is the endpoint that learns the set difference. She initiates every
+// round by sending BCH codewords of her parity bitmaps (Line 1 of
+// Procedure 2) and finishes it by recovering distinct elements from Bob's
+// reply and verifying checksums (Lines 4–5).
+type Alice struct {
+	plan    Plan
+	sd      seeds
+	sigMask uint64
+
+	active []*aliceScope
+	round  int
+
+	// diff accumulates D̂1 △ D̂2 △ ... — the learned difference.
+	diff map[uint64]struct{}
+
+	payloadBits  int
+	sketchesSent int
+	awaiting     bool // a round message was built and its reply is pending
+
+	encodeTime time.Duration // time spent building bitmaps and codewords
+	decodeTime time.Duration // time spent recovering and verifying elements
+}
+
+// EncodeTime returns the cumulative time Alice spent encoding (hash
+// partitioning, parity bitmaps, BCH codewords).
+func (a *Alice) EncodeTime() time.Duration { return a.encodeTime }
+
+// DecodeTime returns the cumulative time Alice spent recovering distinct
+// elements and verifying checksums.
+func (a *Alice) DecodeTime() time.Duration { return a.decodeTime }
+
+// aliceScope is Alice's per-scope state: the working set W (initially her
+// group subset, thereafter W △ D̂ after every round, §2.4) plus incremental
+// checksums.
+type aliceScope struct {
+	id       scopeID
+	w        map[uint64]struct{}
+	checksum uint64 // c(W), maintained incrementally
+
+	bobChecksum     uint64
+	haveBobChecksum bool
+
+	// Round-scoped scratch, saved between BuildRound and AbsorbReply.
+	binSums []uint64
+	binSeed uint64
+}
+
+// NewAlice creates the Alice endpoint for the given set under plan.
+// Elements must be nonzero and fit in plan.SigBits bits.
+func NewAlice(set []uint64, plan Plan) (*Alice, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	a := &Alice{
+		plan:    plan,
+		sd:      deriveSeeds(plan.Seed),
+		sigMask: sigMask(plan.SigBits),
+		diff:    make(map[uint64]struct{}),
+	}
+	scopes := make([]*aliceScope, plan.Groups)
+	for g := range scopes {
+		scopes[g] = &aliceScope{
+			id: scopeID{group: g},
+			w:  make(map[uint64]struct{}),
+		}
+	}
+	for _, x := range set {
+		if x == 0 || x&^a.sigMask != 0 {
+			return nil, fmt.Errorf("core: element %#x outside %d-bit universe (0 excluded)", x, plan.SigBits)
+		}
+		sc := scopes[a.sd.groupOf(x, plan.Groups)]
+		if _, dup := sc.w[x]; dup {
+			return nil, fmt.Errorf("core: duplicate element %#x", x)
+		}
+		sc.w[x] = struct{}{}
+		sc.checksum = (sc.checksum + x) & a.sigMask
+	}
+	a.active = scopes
+	return a, nil
+}
+
+func sigMask(bits uint) uint64 {
+	if bits == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << bits) - 1
+}
+
+// Done reports whether every scope has passed checksum verification.
+func (a *Alice) Done() bool { return len(a.active) == 0 && !a.awaiting }
+
+// Rounds returns the number of rounds started so far.
+func (a *Alice) Rounds() int { return a.round }
+
+// PayloadBits returns the cumulative protocol-payload bits Alice has sent
+// (BCH codewords), excluding message framing.
+func (a *Alice) PayloadBits() int { return a.payloadBits }
+
+// SketchesSent returns how many per-scope BCH codewords Alice has sent.
+func (a *Alice) SketchesSent() int { return a.sketchesSent }
+
+// Difference returns the learned estimate of A△B accumulated so far. After
+// Done() it is exactly A△B (barring the O(2^−sigBits) false-verification
+// event analysed in §2.2.3).
+func (a *Alice) Difference() []uint64 {
+	out := make([]uint64, 0, len(a.diff))
+	for x := range a.diff {
+		out = append(out, x)
+	}
+	return out
+}
+
+// BuildRound builds the next round message for Bob: one scope descriptor
+// plus BCH codeword per active scope. It returns nil when reconciliation
+// has completed.
+func (a *Alice) BuildRound() ([]byte, error) {
+	if a.awaiting {
+		return nil, fmt.Errorf("core: BuildRound called with a reply outstanding")
+	}
+	if len(a.active) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	defer func() { a.encodeTime += time.Since(start) }()
+	a.round++
+	n := a.plan.N()
+	w := wire.NewWriter()
+	w.WriteUvarint(uint64(a.round))
+	w.WriteUvarint(uint64(len(a.active)))
+	for _, sc := range a.active {
+		writeScopeID(w, sc.id)
+		sc.binSeed = a.sd.binSeed(sc.id, a.round)
+		sums, parity := binFold(sc.w, sc.binSeed, n)
+		sc.binSums = sums
+		sketch := bch.MustNew(a.plan.M, a.plan.T)
+		for i := uint64(1); i <= n; i++ {
+			if parity[i] {
+				sketch.Add(i)
+			}
+		}
+		sketch.AppendTo(w)
+		a.payloadBits += sketch.Bits()
+		a.sketchesSent++
+	}
+	a.awaiting = true
+	return w.Bytes(), nil
+}
+
+// AbsorbReply processes Bob's reply to the message built by the last
+// BuildRound call: it recovers distinct elements per scope (Procedure 1),
+// discards fake distinct elements (Procedure 3), toggles the recovered
+// elements into the working sets and the global difference, verifies
+// checksums, and queues 3-way splits for scopes whose BCH decoding failed.
+func (a *Alice) AbsorbReply(reply []byte) error {
+	if !a.awaiting {
+		return fmt.Errorf("core: AbsorbReply without an outstanding round")
+	}
+	a.awaiting = false
+	start := time.Now()
+	defer func() { a.decodeTime += time.Since(start) }()
+	r := wire.NewReader(reply)
+	var next []*aliceScope
+	for _, sc := range a.active {
+		ok, err := r.ReadBool()
+		if err != nil {
+			return fmt.Errorf("core: truncated reply: %w", err)
+		}
+		if !ok {
+			// BCH decoding failure (§3.2): split three ways for next round.
+			next = append(next, a.splitScope(sc)...)
+			continue
+		}
+		count, err := r.ReadUvarint()
+		if err != nil {
+			return fmt.Errorf("core: truncated reply: %w", err)
+		}
+		if count > a.plan.N() {
+			return fmt.Errorf("core: reply position count %d exceeds bitmap size", count)
+		}
+		positions := make([]uint64, count)
+		for i := range positions {
+			if positions[i], err = r.ReadBits(a.plan.M); err != nil {
+				return fmt.Errorf("core: truncated reply: %w", err)
+			}
+		}
+		sums := make([]uint64, count)
+		for i := range sums {
+			if sums[i], err = r.ReadBits(a.plan.SigBits); err != nil {
+				return fmt.Errorf("core: truncated reply: %w", err)
+			}
+		}
+		bobCk, err := r.ReadBits(a.plan.SigBits)
+		if err != nil {
+			return fmt.Errorf("core: truncated reply: %w", err)
+		}
+		sc.bobChecksum = bobCk
+		sc.haveBobChecksum = true
+
+		for i, pos := range positions {
+			if pos == 0 || pos > a.plan.N() {
+				return fmt.Errorf("core: reply position %d out of range", pos)
+			}
+			s := sc.binSums[pos] ^ sums[i]
+			if !a.acceptRecovered(sc, s, pos) {
+				continue
+			}
+			a.toggle(sc, s)
+		}
+		if sc.checksum == sc.bobChecksum {
+			// Verified: this scope's subset pair is reconciled (§2.2.3).
+			sc.binSums = nil
+			continue
+		}
+		sc.binSums = nil
+		next = append(next, sc)
+	}
+	a.active = next
+	return nil
+}
+
+// acceptRecovered applies the fake-distinct-element checks: the recovered
+// s must be a valid universe element, must hash into the bin it was
+// recovered from (Procedure 3), and must belong to this scope's group and
+// split path (the sub-universe membership condition).
+func (a *Alice) acceptRecovered(sc *aliceScope, s uint64, pos uint64) bool {
+	if s == 0 || s&^a.sigMask != 0 {
+		return false
+	}
+	if hashutil.Bin(s, sc.binSeed, a.plan.N()) != pos {
+		return false
+	}
+	if a.sd.groupOf(s, a.plan.Groups) != sc.id.group {
+		return false
+	}
+	cur := scopeID{group: sc.id.group}
+	for i := 0; i < len(sc.id.path); i++ {
+		if a.sd.childOf(s, cur) != int(sc.id.path[i]-'0') {
+			return false
+		}
+		cur = cur.child(int(sc.id.path[i] - '0'))
+	}
+	return true
+}
+
+// toggle applies s to the scope's working set (W ← W △ {s}), its checksum,
+// and the global learned difference.
+func (a *Alice) toggle(sc *aliceScope, s uint64) {
+	if _, in := sc.w[s]; in {
+		delete(sc.w, s)
+		sc.checksum = (sc.checksum - s) & a.sigMask
+	} else {
+		sc.w[s] = struct{}{}
+		sc.checksum = (sc.checksum + s) & a.sigMask
+	}
+	if _, in := a.diff[s]; in {
+		delete(a.diff, s)
+	} else {
+		a.diff[s] = struct{}{}
+	}
+}
+
+// splitScope partitions sc's working set into splitWays children.
+func (a *Alice) splitScope(sc *aliceScope) []*aliceScope {
+	children := make([]*aliceScope, splitWays)
+	for i := range children {
+		children[i] = &aliceScope{
+			id: sc.id.child(i),
+			w:  make(map[uint64]struct{}),
+		}
+	}
+	for x := range sc.w {
+		c := children[a.sd.childOf(x, sc.id)]
+		c.w[x] = struct{}{}
+		c.checksum = (c.checksum + x) & a.sigMask
+	}
+	return children
+}
+
+// binFold hashes every element of set into a bin in [1, n] and returns the
+// per-bin XOR sums and cardinality parities.
+func binFold(set map[uint64]struct{}, seed uint64, n uint64) (sums []uint64, parity []bool) {
+	sums = make([]uint64, n+1)
+	parity = make([]bool, n+1)
+	for x := range set {
+		b := hashutil.Bin(x, seed, n)
+		sums[b] ^= x
+		parity[b] = !parity[b]
+	}
+	return sums, parity
+}
+
+func writeScopeID(w *wire.Writer, id scopeID) {
+	w.WriteUvarint(uint64(id.group))
+	w.WriteUvarint(uint64(len(id.path)))
+	for i := 0; i < len(id.path); i++ {
+		w.WriteBits(uint64(id.path[i]-'0'), 2)
+	}
+}
+
+func readScopeID(r *wire.Reader) (scopeID, error) {
+	g, err := r.ReadUvarint()
+	if err != nil {
+		return scopeID{}, err
+	}
+	plen, err := r.ReadUvarint()
+	if err != nil {
+		return scopeID{}, err
+	}
+	if plen > 64 {
+		return scopeID{}, fmt.Errorf("core: absurd split depth %d", plen)
+	}
+	path := make([]byte, plen)
+	for i := range path {
+		c, err := r.ReadBits(2)
+		if err != nil {
+			return scopeID{}, err
+		}
+		if c >= splitWays {
+			return scopeID{}, fmt.Errorf("core: split child %d out of range", c)
+		}
+		path[i] = byte('0' + c)
+	}
+	return scopeID{group: int(g), path: string(path)}, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pbs/internal/bch"
+	"pbs/internal/hashutil"
+	"pbs/internal/wire"
+)
+
+// Bob is the responding endpoint. Each round he decodes Alice's BCH
+// codewords against his local parity bitmaps to locate the differing bit
+// positions (Line 2 of Procedure 2) and replies with those positions, the
+// XOR sums of his corresponding subsets, and his per-scope checksums
+// (Line 3).
+type Bob struct {
+	plan    Plan
+	sd      seeds
+	sigMask uint64
+
+	// groups holds Bob's elements partitioned by group; stable across
+	// rounds because the group hash never changes.
+	groups [][]uint64
+	// scopeSets caches the element lists of split scopes.
+	scopeSets map[scopeID][]uint64
+	// checksums caches c(B_s) per scope.
+	checksums map[scopeID]uint64
+
+	payloadBits   int
+	positionsSent int
+	checksumsSent int
+
+	encodeTime time.Duration // building bitmaps, XOR sums, and sketches
+	decodeTime time.Duration // BCH decoding
+}
+
+// EncodeTime returns the cumulative time Bob spent encoding (hash
+// partitioning, parity bitmaps, XOR sums, BCH sketches).
+func (b *Bob) EncodeTime() time.Duration { return b.encodeTime }
+
+// DecodeTime returns the cumulative time Bob spent in BCH decoding.
+func (b *Bob) DecodeTime() time.Duration { return b.decodeTime }
+
+// NewBob creates the Bob endpoint for the given set under plan.
+func NewBob(set []uint64, plan Plan) (*Bob, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	b := &Bob{
+		plan:      plan,
+		sd:        deriveSeeds(plan.Seed),
+		sigMask:   sigMask(plan.SigBits),
+		groups:    make([][]uint64, plan.Groups),
+		scopeSets: make(map[scopeID][]uint64),
+		checksums: make(map[scopeID]uint64),
+	}
+	seen := make(map[uint64]struct{}, len(set))
+	for _, x := range set {
+		if x == 0 || x&^b.sigMask != 0 {
+			return nil, fmt.Errorf("core: element %#x outside %d-bit universe (0 excluded)", x, plan.SigBits)
+		}
+		if _, dup := seen[x]; dup {
+			return nil, fmt.Errorf("core: duplicate element %#x", x)
+		}
+		seen[x] = struct{}{}
+		g := b.sd.groupOf(x, plan.Groups)
+		b.groups[g] = append(b.groups[g], x)
+	}
+	return b, nil
+}
+
+// PayloadBits returns the cumulative protocol-payload bits Bob has sent
+// (positions, XOR sums, checksums), excluding message framing.
+func (b *Bob) PayloadBits() int { return b.payloadBits }
+
+// PositionsSent returns how many (position, XOR sum) pairs Bob has sent.
+func (b *Bob) PositionsSent() int { return b.positionsSent }
+
+// ChecksumsSent returns how many per-scope checksums Bob has sent.
+func (b *Bob) ChecksumsSent() int { return b.checksumsSent }
+
+// scopeSet returns Bob's elements belonging to the given scope, computing
+// and caching split-scope subsets on demand.
+func (b *Bob) scopeSet(id scopeID) []uint64 {
+	if id.path == "" {
+		return b.groups[id.group]
+	}
+	if s, ok := b.scopeSets[id]; ok {
+		return s
+	}
+	parent := scopeID{group: id.group, path: id.path[:len(id.path)-1]}
+	parentSet := b.scopeSet(parent)
+	// Partition the parent into all children at once so sibling lookups hit
+	// the cache.
+	children := make([][]uint64, splitWays)
+	for _, x := range parentSet {
+		c := b.sd.childOf(x, parent)
+		children[c] = append(children[c], x)
+	}
+	for i, set := range children {
+		b.scopeSets[parent.child(i)] = set
+	}
+	return b.scopeSets[id]
+}
+
+// checksum returns c(B_s) for the scope, cached.
+func (b *Bob) checksum(id scopeID, set []uint64) uint64 {
+	if c, ok := b.checksums[id]; ok {
+		return c
+	}
+	var c uint64
+	for _, x := range set {
+		c = (c + x) & b.sigMask
+	}
+	b.checksums[id] = c
+	return c
+}
+
+// HandleRound processes one round message from Alice and returns the reply.
+func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
+	r := wire.NewReader(msg)
+	round, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: bad round header: %w", err)
+	}
+	nScopes, err := r.ReadUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("core: bad round header: %w", err)
+	}
+	// Plausibility cap: splits can multiply scopes well beyond the group
+	// count when capacity was badly underestimated, so allow generous
+	// headroom while still rejecting absurd messages.
+	if nScopes > uint64(b.plan.Groups)*64+(1<<16) {
+		return nil, fmt.Errorf("core: implausible scope count %d", nScopes)
+	}
+	n := b.plan.N()
+	out := wire.NewWriter()
+	// Scratch buffers shared across scopes within the round; cleared per
+	// scope (memclr) instead of reallocated, which matters at large g.
+	sums := make([]uint64, n+1)
+	parity := make([]bool, n+1)
+	for s := uint64(0); s < nScopes; s++ {
+		id, err := readScopeID(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad scope descriptor: %w", err)
+		}
+		if id.group < 0 || id.group >= b.plan.Groups {
+			return nil, fmt.Errorf("core: scope group %d out of range", id.group)
+		}
+		aliceSketch, err := bch.ReadFrom(r, b.plan.M, b.plan.T)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad sketch: %w", err)
+		}
+		encStart := time.Now()
+		set := b.scopeSet(id)
+		seed := b.sd.binSeed(id, int(round))
+		sketch := bch.MustNew(b.plan.M, b.plan.T)
+		clear(sums)
+		clear(parity)
+		for _, x := range set {
+			bin := hashutil.Bin(x, seed, n)
+			sums[bin] ^= x
+			parity[bin] = !parity[bin]
+		}
+		for i := uint64(1); i <= n; i++ {
+			if parity[i] {
+				sketch.Add(i)
+			}
+		}
+		if err := sketch.Xor(aliceSketch); err != nil {
+			return nil, err
+		}
+		b.encodeTime += time.Since(encStart)
+		decStart := time.Now()
+		positions, derr := sketch.Decode()
+		b.decodeTime += time.Since(decStart)
+		if derr != nil {
+			// BCH decoding failure (§3.2): report it; Alice will split.
+			out.WriteBool(false)
+			continue
+		}
+		out.WriteBool(true)
+		out.WriteUvarint(uint64(len(positions)))
+		for _, p := range positions {
+			out.WriteBits(p, b.plan.M)
+		}
+		for _, p := range positions {
+			out.WriteBits(sums[p], b.plan.SigBits)
+		}
+		out.WriteBits(b.checksum(id, set), b.plan.SigBits)
+		b.payloadBits += len(positions)*int(b.plan.M) +
+			len(positions)*int(b.plan.SigBits) + int(b.plan.SigBits)
+		b.positionsSent += len(positions)
+		b.checksumsSent++
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,6 @@
+package core
+
+import "pbs/internal/wire"
+
+func newTestWriter() *wire.Writer         { return wire.NewWriter() }
+func newTestReader(b []byte) *wire.Reader { return wire.NewReader(b) }

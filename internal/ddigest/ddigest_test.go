@@ -1,0 +1,105 @@
+package ddigest
+
+import (
+	"sort"
+	"testing"
+
+	"pbs/internal/workload"
+)
+
+func assertSameSet(t *testing.T, got, want []uint64) {
+	t.Helper()
+	g := append([]uint64(nil), got...)
+	w := append([]uint64(nil), want...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	if len(g) != len(w) {
+		t.Fatalf("size mismatch: %d vs %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestReconcileExact(t *testing.T) {
+	for _, d := range []int{1, 10, 100, 1000} {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: d, Seed: int64(d)})
+		res, err := Reconcile(p.A, p.B, d, 32, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("d=%d: peel failed with 2d cells", d)
+		}
+		assertSameSet(t, res.Difference, p.Diff)
+	}
+}
+
+func TestCommIsSixTimesMinimum(t *testing.T) {
+	// 2d cells × 3 words × 32 bits = 192·d bits = 6× the 32·d minimum.
+	const d = 500
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: d, Seed: 9})
+	res, err := Reconcile(p.A, p.B, d, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommBits != 2*d*3*32 {
+		t.Errorf("comm = %d bits, want %d", res.CommBits, 2*d*3*32)
+	}
+}
+
+func TestUndersizedFails(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: 400, Seed: 10})
+	res, err := Reconcile(p.A, p.B, 40, 32, 2) // sized for a tenth of the truth
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("severely undersized IBF should fail to peel")
+	}
+}
+
+func TestHashCountRule(t *testing.T) {
+	if HashCount(200) != 4 || HashCount(201) != 3 {
+		t.Error("hash-count rule should switch at d̂ = 200")
+	}
+}
+
+func TestCellsFloor(t *testing.T) {
+	if Cells(1) != 8 {
+		t.Errorf("Cells(1) = %d, want floor 8", Cells(1))
+	}
+	if Cells(100) != 200 {
+		t.Errorf("Cells(100) = %d", Cells(100))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Reconcile(nil, nil, 0, 32, 0); err == nil {
+		t.Error("dhat=0 should error")
+	}
+}
+
+func TestSuccessRateNearTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const d = 50
+	ok := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 4000, D: d, Seed: int64(i)})
+		res, err := Reconcile(p.A, p.B, d, 32, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Complete {
+			ok++
+		}
+	}
+	if ok < 92 { // target ~0.99 with 2d cells and exact d
+		t.Errorf("success rate %d/100 below expectation", ok)
+	}
+}

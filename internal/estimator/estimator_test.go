@@ -1,0 +1,231 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbs/internal/workload"
+)
+
+func makePair(t testing.TB, d int, seed int64) *workload.Pair {
+	t.Helper()
+	p, err := workload.Generate(workload.Config{
+		UniverseBits: 32, SizeA: 3000, D: d, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestToWUnbiasedEmpirically(t *testing.T) {
+	// Average many independent single-sketch estimates; the mean must
+	// approach d (unbiasedness, App. A). Var of a single sketch is
+	// 2d²−2d, so with trials T the sample-mean sd is d·sqrt(2/T).
+	const d = 50
+	p := makePair(t, d, 1)
+	const trials = 1200
+	var sum float64
+	for i := 0; i < trials; i++ {
+		tw := MustNewToW(1, uint64(i)+1000)
+		ya := tw.Sketch(p.A)
+		yb := tw.Sketch(p.B)
+		e, err := tw.Estimate(ya, yb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += e
+	}
+	mean := sum / trials
+	sd := float64(d) * math.Sqrt(2.0/trials)
+	if math.Abs(mean-d) > 6*sd {
+		t.Errorf("ToW mean = %.2f, want ~%d (+/- %.2f)", mean, d, 6*sd)
+	}
+}
+
+func TestToWVarianceMatchesTheory(t *testing.T) {
+	// Var[d̂] with one sketch is 2d²−2d (App. A). Check within broad bounds.
+	const d = 30
+	p := makePair(t, d, 2)
+	const trials = 1500
+	var sum, sumsq float64
+	for i := 0; i < trials; i++ {
+		tw := MustNewToW(1, uint64(i)+5000)
+		e, _ := tw.Estimate(tw.Sketch(p.A), tw.Sketch(p.B))
+		sum += e
+		sumsq += e * e
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	want := float64(2*d*d - 2*d)
+	if variance < want/2 || variance > want*2 {
+		t.Errorf("ToW variance = %.0f, theory %.0f", variance, want)
+	}
+}
+
+func TestToWAccuracyWith128Sketches(t *testing.T) {
+	// With ℓ=128 the relative sd is sqrt(2/128) ≈ 12.5%; the estimate
+	// should be well within 60% of truth on any single run.
+	for _, d := range []int{10, 100, 1000} {
+		p := makePair(t, d, int64(d))
+		tw := MustNewToW(DefaultSketches, 42)
+		e, _ := tw.Estimate(tw.Sketch(p.A), tw.Sketch(p.B))
+		if e < float64(d)*0.4 || e > float64(d)*1.6 {
+			t.Errorf("d=%d: estimate %.1f too far off", d, e)
+		}
+	}
+}
+
+func TestConservativeCoverage(t *testing.T) {
+	// Pr[d <= 1.38·d̂] should be >= ~99% at ℓ=128 (§6.2).
+	const d = 200
+	p := makePair(t, d, 3)
+	covered, trials := 0, 150
+	for i := 0; i < trials; i++ {
+		tw := MustNewToW(DefaultSketches, uint64(i))
+		e, _ := tw.Estimate(tw.Sketch(p.A), tw.Sketch(p.B))
+		if float64(d) <= DefaultGamma*e {
+			covered++
+		}
+	}
+	if float64(covered)/float64(trials) < 0.96 {
+		t.Errorf("coverage %d/%d below expectation", covered, trials)
+	}
+}
+
+func TestToWIdenticalSetsEstimateZero(t *testing.T) {
+	p := makePair(t, 0, 4)
+	tw := MustNewToW(32, 9)
+	e, _ := tw.Estimate(tw.Sketch(p.A), tw.Sketch(p.B))
+	if e != 0 {
+		t.Errorf("identical sets: estimate %.2f, want 0", e)
+	}
+}
+
+func TestToWBitsAccounting(t *testing.T) {
+	tw := MustNewToW(128, 0)
+	// |S| = 10^6: each sketch needs ceil(log2(2e6+1)) = 21 bits; 128·21 =
+	// 2688 bits = 336 bytes — the paper's number.
+	if got := tw.Bits(1_000_000); got != 2688 {
+		t.Errorf("Bits(1e6) = %d, want 2688 (336 bytes)", got)
+	}
+}
+
+func TestToWErrors(t *testing.T) {
+	if _, err := NewToW(0, 1); err == nil {
+		t.Error("l=0 should fail")
+	}
+	tw := MustNewToW(4, 1)
+	if _, err := tw.Estimate(make([]int64, 3), make([]int64, 4)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestConservativeD(t *testing.T) {
+	if ConservativeD(10, 1.38) != 14 {
+		t.Errorf("ConservativeD(10,1.38) = %d", ConservativeD(10, 1.38))
+	}
+	if ConservativeD(0, 1.38) != 1 {
+		t.Error("floor of 1 expected")
+	}
+}
+
+func TestStrataOrderOfMagnitude(t *testing.T) {
+	for _, d := range []int{64, 512, 2048} {
+		p := makePair(t, d, int64(d)*7)
+		s := NewStrata(11)
+		e, err := s.Estimate(s.Sketch(p.A), s.Sketch(p.B))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < float64(d)/4 || e > float64(d)*4 {
+			t.Errorf("strata d=%d: estimate %.0f out of 4x band", d, e)
+		}
+	}
+}
+
+func TestStrataExactWhenSmall(t *testing.T) {
+	// With d small, every stratum decodes and the estimate is exact.
+	p := makePair(t, 5, 8)
+	s := NewStrata(12)
+	e, err := s.Estimate(s.Sketch(p.A), s.Sketch(p.B))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 5 {
+		t.Errorf("small-d strata estimate = %.0f, want exactly 5", e)
+	}
+}
+
+func TestStrataBitsLargerThanToW(t *testing.T) {
+	// The paper's point (App. B): ToW is far more space-efficient.
+	s := NewStrata(0)
+	tw := MustNewToW(DefaultSketches, 0)
+	if s.Bits(32) <= tw.Bits(1_000_000) {
+		t.Errorf("strata bits %d should exceed ToW bits %d", s.Bits(32), tw.Bits(1_000_000))
+	}
+}
+
+func TestMinWiseRoughAccuracy(t *testing.T) {
+	const d = 2000 // min-wise is poor at tiny J differences; use larger d
+	p := makePair(t, d, 10)
+	mw, err := NewMinWise(512, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := mw.Estimate(mw.Sketch(p.A), mw.Sketch(p.B), len(p.A), len(p.B))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < float64(d)/5 || e > float64(d)*5 {
+		t.Errorf("minwise estimate %.0f for d=%d", e, d)
+	}
+}
+
+func TestMinWiseIdenticalSets(t *testing.T) {
+	p := makePair(t, 0, 11)
+	mw, _ := NewMinWise(64, 1)
+	e, _ := mw.Estimate(mw.Sketch(p.A), mw.Sketch(p.B), len(p.A), len(p.B))
+	if e != 0 {
+		t.Errorf("identical sets: %f", e)
+	}
+}
+
+func TestMinWiseErrors(t *testing.T) {
+	if _, err := NewMinWise(0, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	mw, _ := NewMinWise(4, 0)
+	if _, err := mw.Estimate(make([]uint64, 3), make([]uint64, 4), 1, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestEstimateDOneShot(t *testing.T) {
+	p := makePair(t, 100, 12)
+	tw := MustNewToW(DefaultSketches, 5)
+	d, bits, err := tw.EstimateD(p.A, p.B, DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 40 || d > 400 {
+		t.Errorf("EstimateD = %d for true d=100", d)
+	}
+	if bits != tw.Bits(len(p.A)) {
+		t.Errorf("bits = %d", bits)
+	}
+}
+
+func BenchmarkToWSketch10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	set := make([]uint64, 10000)
+	for i := range set {
+		set[i] = rng.Uint64() | 1
+	}
+	tw := MustNewToW(DefaultSketches, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw.Sketch(set)
+	}
+}

@@ -1,0 +1,468 @@
+// Package exper is the evaluation harness: it regenerates every table and
+// figure of the PBS paper's evaluation (§8, Appendices H and J) by running
+// PBS and the baselines — PinSketch, Difference Digest, Graphene, and
+// PinSketch/WP — over the paper's workload and reporting success rate,
+// communication overhead, encoding time, and decoding time.
+//
+// Instances follow the paper's setup: |A| elements drawn uniformly from a
+// 32-bit universe, B a uniform subsample with |A△B| = d exactly, the
+// difference cardinality estimated by a 128-sketch Tug-of-War estimator
+// scaled by γ = 1.38 (the estimator's 336-byte cost excluded from the
+// reported communication, as in §6.2).
+package exper
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"pbs/internal/core"
+	"pbs/internal/ddigest"
+	"pbs/internal/estimator"
+	"pbs/internal/graphene"
+	"pbs/internal/pinsketch"
+	"pbs/internal/workload"
+)
+
+// Algo identifies a reconciliation scheme under test.
+type Algo string
+
+// The evaluated algorithms.
+const (
+	AlgoPBS         Algo = "PBS"
+	AlgoPinSketch   Algo = "PinSketch"
+	AlgoDDigest     Algo = "D.Digest"
+	AlgoGraphene    Algo = "Graphene"
+	AlgoPinSketchWP Algo = "PinSketch/WP"
+)
+
+// Measurement is one algorithm's outcome on one instance.
+type Measurement struct {
+	Success   bool
+	CommBytes float64 // payload bytes, estimator excluded
+	EncodeSec float64
+	DecodeSec float64
+	Rounds    int
+	// CommBytes256 re-prices the payload at 256-bit signatures where the
+	// scheme supports it (PBS and PinSketch/WP; Fig. 5), else 0.
+	CommBytes256 float64
+}
+
+// RunConfig fixes the protocol-level knobs shared by a sweep.
+type RunConfig struct {
+	TargetSuccess float64 // p0 (0 -> 0.99)
+	TargetRounds  int     // r (0 -> 3)
+	MaxRounds     int     // protocol round cap (0 -> unlimited)
+	Delta         int     // δ (0 -> 5)
+	SigBits       uint    // accounting signature width (0 -> 32)
+	GrapheneTau   float64 // IBF headroom for Graphene (0 -> default)
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.TargetSuccess == 0 {
+		c.TargetSuccess = 0.99
+	}
+	if c.TargetRounds == 0 {
+		c.TargetRounds = 3
+	}
+	if c.Delta == 0 {
+		c.Delta = 5
+	}
+	if c.SigBits == 0 {
+		c.SigBits = 32
+	}
+	return c
+}
+
+// Instance bundles a workload pair with its shared difference estimates.
+type Instance struct {
+	Pair *workload.Pair
+	// DHat is the conservative γ-scaled ToW estimate (1.38·d̂), used by PBS
+	// and for PinSketch's error-correction capacity t = 1.38·d̂ (§8.1.1).
+	DHat int
+	// DHatRaw is the unscaled ToW estimate, used by D.Digest (2·d̂ cells)
+	// and Graphene, which carry their own slack.
+	DHatRaw int
+	Seed    uint64
+}
+
+// NewInstance generates a pair and estimates its difference cardinality.
+func NewInstance(sizeA, d int, seed int64) (*Instance, error) {
+	pair, err := workload.Generate(workload.Config{
+		UniverseBits: 32, SizeA: sizeA, D: d, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tow, err := estimator.NewToW(estimator.DefaultSketches, uint64(seed)^0xE57)
+	if err != nil {
+		return nil, err
+	}
+	dhat, _, err := tow.EstimateD(pair.A, pair.B, estimator.DefaultGamma)
+	if err != nil {
+		return nil, err
+	}
+	raw := estimator.ConservativeD(float64(dhat)/estimator.DefaultGamma, 1)
+	return &Instance{Pair: pair, DHat: dhat, DHatRaw: raw, Seed: uint64(seed)}, nil
+}
+
+// correct reports whether got equals the ground-truth difference.
+func correct(got, want []uint64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	g := append([]uint64(nil), got...)
+	w := append([]uint64(nil), want...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	for i := range g {
+		if g[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes one algorithm on one instance.
+func Run(algo Algo, inst *Instance, cfg RunConfig) (Measurement, error) {
+	cfg = cfg.withDefaults()
+	switch algo {
+	case AlgoPBS:
+		return runPBS(inst, cfg)
+	case AlgoPinSketch:
+		return runPinSketch(inst, cfg)
+	case AlgoDDigest:
+		return runDDigest(inst, cfg)
+	case AlgoGraphene:
+		return runGraphene(inst, cfg)
+	case AlgoPinSketchWP:
+		return runPinSketchWP(inst, cfg)
+	}
+	return Measurement{}, fmt.Errorf("exper: unknown algorithm %q", algo)
+}
+
+func runPBS(inst *Instance, cfg RunConfig) (Measurement, error) {
+	plan, err := core.NewPlan(inst.DHat, core.Config{
+		Delta:         cfg.Delta,
+		TargetRounds:  cfg.TargetRounds,
+		TargetSuccess: cfg.TargetSuccess,
+		SigBits:       cfg.SigBits,
+		Seed:          inst.Seed*2654435761 + 1,
+		MaxRounds:     cfg.MaxRounds,
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	alice, err := core.NewAlice(inst.Pair.A, plan)
+	if err != nil {
+		return Measurement{}, err
+	}
+	bob, err := core.NewBob(inst.Pair.B, plan)
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := core.Drive(alice, bob, plan.MaxRounds)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Success:      res.Complete && correct(res.Difference, inst.Pair.Diff),
+		CommBytes:    float64(res.Stats.TotalPayloadBytes()),
+		EncodeSec:    (alice.EncodeTime() + bob.EncodeTime()).Seconds(),
+		DecodeSec:    (alice.DecodeTime() + bob.DecodeTime()).Seconds(),
+		Rounds:       res.Stats.Rounds,
+		CommBytes256: float64(res.Stats.PayloadBitsAt(256)) / 8,
+	}, nil
+}
+
+func runPinSketch(inst *Instance, cfg RunConfig) (Measurement, error) {
+	// §8.1.1: t = 1.38·d̂ so that Pr[d <= t] >= 0.99. DHat already carries
+	// the γ factor.
+	res, err := pinsketch.Plain(inst.Pair.A, inst.Pair.B, maxInt(inst.DHat, 1), 32)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Success:   res.Complete && correct(res.Difference, inst.Pair.Diff),
+		CommBytes: float64(res.CommBits) / 8,
+		EncodeSec: res.EncodeTime.Seconds(),
+		DecodeSec: res.DecodeTime.Seconds(),
+		Rounds:    1,
+	}, nil
+}
+
+func runDDigest(inst *Instance, cfg RunConfig) (Measurement, error) {
+	res, err := ddigest.Reconcile(inst.Pair.A, inst.Pair.B, inst.DHatRaw, cfg.SigBits, inst.Seed^0xDD)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Success:   res.Complete && correct(res.Difference, inst.Pair.Diff),
+		CommBytes: float64(res.CommBits) / 8,
+		EncodeSec: res.EncodeTime.Seconds(),
+		DecodeSec: res.DecodeTime.Seconds(),
+		Rounds:    1,
+	}, nil
+}
+
+func runGraphene(inst *Instance, cfg RunConfig) (Measurement, error) {
+	res, err := graphene.Reconcile(inst.Pair.A, inst.Pair.B, graphene.Config{
+		DHat:    inst.DHatRaw,
+		SigBits: cfg.SigBits,
+		Seed:    inst.Seed ^ 0x6EA,
+		Tau:     cfg.GrapheneTau,
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Success:   res.Complete && correct(res.Difference, inst.Pair.Diff),
+		CommBytes: float64(res.CommBits) / 8,
+		EncodeSec: res.EncodeTime.Seconds(),
+		DecodeSec: res.DecodeTime.Seconds(),
+		Rounds:    1,
+	}, nil
+}
+
+func runPinSketchWP(inst *Instance, cfg RunConfig) (Measurement, error) {
+	// §8.3: same δ and t values as PBS.
+	plan, err := core.NewPlan(inst.DHat, core.Config{
+		Delta:         cfg.Delta,
+		TargetRounds:  cfg.TargetRounds,
+		TargetSuccess: cfg.TargetSuccess,
+		SigBits:       cfg.SigBits,
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := pinsketch.WP(inst.Pair.A, inst.Pair.B, pinsketch.WPConfig{
+		Groups:    plan.Groups,
+		T:         plan.T,
+		MaxRounds: cfg.MaxRounds,
+		SigBits:   cfg.SigBits,
+		Seed:      inst.Seed ^ 0x3F,
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		Success:      res.Complete && correct(res.Difference, inst.Pair.Diff),
+		CommBytes:    float64(res.CommBits) / 8,
+		EncodeSec:    res.EncodeTime.Seconds(),
+		DecodeSec:    res.DecodeTime.Seconds(),
+		Rounds:       res.Rounds,
+		CommBytes256: float64(res.SketchesSent*(plan.T*256+256)) / 8, // GF(2^256) symbols
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Point is an aggregated sweep result for one (d, algorithm) pair.
+type Point struct {
+	D           int
+	Algo        Algo
+	Instances   int
+	SuccessRate float64
+	CommKB      float64 // mean payload KB
+	CommKB256   float64 // mean payload KB at 256-bit signatures (0 if n/a)
+	EncodeSec   float64 // mean
+	DecodeSec   float64 // mean
+	MeanRounds  float64
+}
+
+// SweepConfig drives a figure-style sweep.
+type SweepConfig struct {
+	Ds        []int
+	Algos     []Algo
+	Instances int
+	SizeA     int
+	BaseSeed  int64
+	Run       RunConfig
+	// PinSketchMaxD skips plain PinSketch above this d (its decoding is
+	// O(d²); the paper itself could not run it past 30,000).
+	PinSketchMaxD int
+	// Parallel runs up to this many instances concurrently per data point
+	// (0 or 1 = sequential). Under parallelism the encode/decode timings
+	// include scheduler contention, so use it for success-rate and
+	// communication sweeps rather than timing-sensitive figures.
+	Parallel int
+	// Progress, if non-nil, receives one line per (d, algo) as it finishes.
+	Progress io.Writer
+}
+
+// Sweep runs the configured grid and returns one aggregated Point per
+// (d, algo). Instances are shared across algorithms at each d, mirroring
+// the paper's methodology.
+func Sweep(cfg SweepConfig) ([]Point, error) {
+	if cfg.Instances < 1 {
+		cfg.Instances = 1
+	}
+	if cfg.SizeA == 0 {
+		cfg.SizeA = 100000
+	}
+	if cfg.PinSketchMaxD == 0 {
+		cfg.PinSketchMaxD = 2000
+	}
+	var out []Point
+	for _, d := range cfg.Ds {
+		insts := make([]*Instance, cfg.Instances)
+		for i := range insts {
+			inst, err := NewInstance(cfg.SizeA, d, cfg.BaseSeed+int64(d)*1000+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			insts[i] = inst
+		}
+		for _, algo := range cfg.Algos {
+			if algo == AlgoPinSketch && d > cfg.PinSketchMaxD {
+				continue
+			}
+			pt := Point{D: d, Algo: algo, Instances: cfg.Instances}
+			start := time.Now()
+			ms, err := runInstances(algo, insts, cfg.Run, cfg.Parallel)
+			if err != nil {
+				return nil, fmt.Errorf("exper: %s at d=%d: %w", algo, d, err)
+			}
+			for _, m := range ms {
+				if m.Success {
+					pt.SuccessRate++
+				}
+				pt.CommKB += m.CommBytes / 1024
+				pt.CommKB256 += m.CommBytes256 / 1024
+				pt.EncodeSec += m.EncodeSec
+				pt.DecodeSec += m.DecodeSec
+				pt.MeanRounds += float64(m.Rounds)
+			}
+			n := float64(cfg.Instances)
+			pt.SuccessRate /= n
+			pt.CommKB /= n
+			pt.CommKB256 /= n
+			pt.EncodeSec /= n
+			pt.DecodeSec /= n
+			pt.MeanRounds /= n
+			out = append(out, pt)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "d=%-7d %-13s success=%.3f comm=%.2fKB enc=%.4fs dec=%.6fs rounds=%.2f (%.1fs)\n",
+					d, algo, pt.SuccessRate, pt.CommKB, pt.EncodeSec, pt.DecodeSec, pt.MeanRounds,
+					time.Since(start).Seconds())
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintTable renders sweep points as an aligned table, one block per
+// metric, matching the four panels (a–d) of the paper's figures.
+func PrintTable(w io.Writer, points []Point, with256 bool) {
+	metrics := []struct {
+		name string
+		get  func(Point) float64
+		fmtS string
+	}{
+		{"Success rate", func(p Point) float64 { return p.SuccessRate }, "%12.4f"},
+		{"Data transmitted (KB)", func(p Point) float64 { return p.CommKB }, "%12.3f"},
+		{"Encoding time (s)", func(p Point) float64 { return p.EncodeSec }, "%12.5f"},
+		{"Decoding time (s)", func(p Point) float64 { return p.DecodeSec }, "%12.6f"},
+	}
+	if with256 {
+		metrics = append(metrics, struct {
+			name string
+			get  func(Point) float64
+			fmtS string
+		}{"Data transmitted @256-bit IDs (KB)", func(p Point) float64 { return p.CommKB256 }, "%12.3f"})
+	}
+	ds, algos := axes(points)
+	idx := map[[2]string]Point{}
+	for _, p := range points {
+		idx[[2]string{fmt.Sprint(p.D), string(p.Algo)}] = p
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "\n== %s ==\n%-10s", m.name, "d")
+		for _, a := range algos {
+			fmt.Fprintf(w, "%13s", a)
+		}
+		fmt.Fprintln(w)
+		for _, d := range ds {
+			fmt.Fprintf(w, "%-10d", d)
+			for _, a := range algos {
+				if p, ok := idx[[2]string{fmt.Sprint(d), string(a)}]; ok {
+					fmt.Fprintf(w, " "+m.fmtS, m.get(p))
+				} else {
+					fmt.Fprintf(w, "%13s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// runInstances executes one algorithm over all instances, optionally with
+// a bounded worker pool.
+func runInstances(algo Algo, insts []*Instance, run RunConfig, parallel int) ([]Measurement, error) {
+	out := make([]Measurement, len(insts))
+	if parallel <= 1 {
+		for i, inst := range insts {
+			m, err := Run(algo, inst, run)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m
+		}
+		return out, nil
+	}
+	jobs := make(chan int)
+	errs := make(chan error, len(insts))
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				m, err := Run(algo, insts[i], run)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				out[i] = m
+			}
+		}()
+	}
+	for i := range insts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func axes(points []Point) ([]int, []Algo) {
+	dset := map[int]bool{}
+	aset := map[Algo]bool{}
+	var ds []int
+	var algos []Algo
+	for _, p := range points {
+		if !dset[p.D] {
+			dset[p.D] = true
+			ds = append(ds, p.D)
+		}
+		if !aset[p.Algo] {
+			aset[p.Algo] = true
+			algos = append(algos, p.Algo)
+		}
+	}
+	sort.Ints(ds)
+	return ds, algos
+}

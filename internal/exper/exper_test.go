@@ -1,0 +1,290 @@
+package exper
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunAllAlgorithmsSucceedModerateD(t *testing.T) {
+	inst, err := NewInstance(20000, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algo{AlgoPBS, AlgoPinSketch, AlgoDDigest, AlgoGraphene, AlgoPinSketchWP} {
+		m, err := Run(algo, inst, RunConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !m.Success {
+			t.Errorf("%s failed on an easy instance (d=100, d̂=%d)", algo, inst.DHat)
+		}
+		if m.CommBytes <= 0 {
+			t.Errorf("%s: no communication recorded", algo)
+		}
+		if m.EncodeSec < 0 || m.DecodeSec < 0 {
+			t.Errorf("%s: negative timing", algo)
+		}
+	}
+}
+
+// TestFig1Shape checks the headline qualitative claims of Figure 1 on a
+// reduced-scale instance set: D.Digest transmits the most; PinSketch the
+// least; PBS in between at roughly 2–3× the theoretical minimum.
+func TestFig1Shape(t *testing.T) {
+	const d = 500
+	inst, err := NewInstance(50000, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbsM, err := Run(AlgoPBS, inst, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psM, err := Run(AlgoPinSketch, inst, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ddM, err := Run(AlgoDDigest, inst, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pbsM.Success || !psM.Success || !ddM.Success {
+		t.Fatalf("success: pbs=%v ps=%v dd=%v", pbsM.Success, psM.Success, ddM.Success)
+	}
+	min := float64(d*32) / 8 // theoretical minimum bytes
+	if r := pbsM.CommBytes / min; r < 1.5 || r > 3.5 {
+		t.Errorf("PBS comm = %.2fx minimum, paper reports 2.13–2.87x", r)
+	}
+	if r := ddM.CommBytes / min; r < 4.5 || r > 8 {
+		t.Errorf("D.Digest comm = %.2fx minimum, paper reports ~6x", r)
+	}
+	if r := psM.CommBytes / min; r < 1.0 || r > 1.8 {
+		t.Errorf("PinSketch comm = %.2fx minimum, paper reports ~1.38x", r)
+	}
+	if !(psM.CommBytes < pbsM.CommBytes && pbsM.CommBytes < ddM.CommBytes) {
+		t.Errorf("ordering violated: ps=%.0f pbs=%.0f dd=%.0f",
+			psM.CommBytes, pbsM.CommBytes, ddM.CommBytes)
+	}
+	// Decode time: PinSketch (O(d²)) must dwarf PBS (O(d)) at d=500.
+	if psM.DecodeSec < 5*pbsM.DecodeSec {
+		t.Errorf("PinSketch decode %.5fs should dwarf PBS decode %.5fs",
+			psM.DecodeSec, pbsM.DecodeSec)
+	}
+}
+
+// TestFig3Shape: PBS beats PinSketch/WP on communication (§8.3).
+func TestFig3Shape(t *testing.T) {
+	inst, err := NewInstance(30000, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbsM, err := Run(AlgoPBS, inst, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpM, err := Run(AlgoPinSketchWP, inst, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pbsM.Success || !wpM.Success {
+		t.Fatal("runs failed")
+	}
+	if wpM.CommBytes <= pbsM.CommBytes {
+		t.Errorf("PinSketch/WP comm %.0fB should exceed PBS %.0fB", wpM.CommBytes, pbsM.CommBytes)
+	}
+	// Fig. 5: at 256-bit signatures the margin must widen.
+	gap32 := wpM.CommBytes / pbsM.CommBytes
+	gap256 := wpM.CommBytes256 / pbsM.CommBytes256
+	if gap256 <= gap32 {
+		t.Errorf("256-bit margin (%.2fx) should exceed 32-bit margin (%.2fx)", gap256, gap32)
+	}
+}
+
+func TestSweepAndPrint(t *testing.T) {
+	pts, err := Sweep(SweepConfig{
+		Ds:        []int{10, 50},
+		Algos:     []Algo{AlgoPBS, AlgoDDigest},
+		Instances: 2,
+		SizeA:     5000,
+		BaseSeed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, pts, false)
+	out := buf.String()
+	for _, want := range []string{"Success rate", "Data transmitted", "Encoding time", "Decoding time", "PBS", "D.Digest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+}
+
+func TestSweepSkipsPinSketchAboveCap(t *testing.T) {
+	pts, err := Sweep(SweepConfig{
+		Ds:            []int{10, 100},
+		Algos:         []Algo{AlgoPinSketch},
+		Instances:     1,
+		SizeA:         3000,
+		BaseSeed:      9,
+		PinSketchMaxD: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].D != 10 {
+		t.Fatalf("PinSketch should be skipped above the cap: %+v", pts)
+	}
+}
+
+func TestRoundsPMF(t *testing.T) {
+	pmf, err := RoundsPMF(50, 5000, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pmf {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %f", sum)
+	}
+	if len(pmf) > 4 {
+		t.Errorf("d=50 should finish within ~3 rounds, pmf spans %d", len(pmf))
+	}
+}
+
+func TestSec52RowsMatchTrend(t *testing.T) {
+	rows, err := Sec52(1000, 5, 4, 0.99, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatal("want 4 rows")
+	}
+	for i := 1; i < 4; i++ {
+		if rows[i].CommBits > rows[i-1].CommBits {
+			t.Errorf("comm should not grow with r: %+v", rows)
+		}
+	}
+	if rows[3].CommBits != 288 {
+		t.Errorf("r=4 comm = %d, paper says 288", rows[3].CommBits)
+	}
+}
+
+func TestSec53Proportions(t *testing.T) {
+	props, params, err := Sec53(1000, 5, 3, 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.M != 7 {
+		t.Errorf("params m=%d, want 7", params.M)
+	}
+	if props[0] < 0.9 {
+		t.Errorf("round-1 proportion %.3f; the paper's piecewise claim needs > 0.9", props[0])
+	}
+	if props[1] > 0.1 || props[2] > props[1] {
+		t.Errorf("later-round proportions look wrong: %v", props)
+	}
+}
+
+func TestPrintTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable1(&buf, 1000, 5, 3, 0.99)
+	out := buf.String()
+	if !strings.Contains(out, "2047") || !strings.Contains(out, "*") {
+		t.Errorf("Table 1 output malformed:\n%s", out)
+	}
+}
+
+func TestDeltaSweep(t *testing.T) {
+	pts, err := DeltaSweep(200, []int{3, 10}, 10000, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatal("want 2 points")
+	}
+	for _, p := range pts {
+		if p.Point.SuccessRate < 0.5 {
+			t.Errorf("δ=%d: success %.2f", p.Delta, p.Point.SuccessRate)
+		}
+	}
+	// Fig. 4b: communication decreases as δ grows.
+	if pts[1].Point.CommKB >= pts[0].Point.CommKB {
+		t.Errorf("comm should shrink with δ: δ=3 %.2fKB, δ=10 %.2fKB",
+			pts[0].Point.CommKB, pts[1].Point.CommKB)
+	}
+}
+
+func TestUnknownAlgo(t *testing.T) {
+	inst, err := NewInstance(1000, 5, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Algo("nope"), inst, RunConfig{}); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+// TestEstimatorComparison reproduces the Appendix B claim: the ToW
+// estimator is far more space-efficient than Strata at comparable (or
+// better) accuracy, and min-wise is unusable at small d.
+func TestEstimatorComparison(t *testing.T) {
+	pts, err := EstimatorComparison([]int{200}, 20000, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]EstimatorPoint{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	tow, strata := byName["ToW"], byName["Strata"]
+	if tow.CommBytes*10 > strata.CommBytes {
+		t.Errorf("ToW (%dB) should be >=10x smaller than Strata (%dB)",
+			tow.CommBytes, strata.CommBytes)
+	}
+	if tow.RMSRel > 0.5 {
+		t.Errorf("ToW RMS relative error %.2f too large", tow.RMSRel)
+	}
+	if tow.MeanRel < 0.6 || tow.MeanRel > 1.5 {
+		t.Errorf("ToW mean relative estimate %.2f biased", tow.MeanRel)
+	}
+	mw := byName["MinWise"]
+	if mw.RMSRel < tow.RMSRel {
+		t.Errorf("min-wise (RMS %.2f) should not beat ToW (RMS %.2f) at small d/|A|",
+			mw.RMSRel, tow.RMSRel)
+	}
+}
+
+// TestSweepParallelMatchesSequential: the parallel path must produce the
+// same success/communication aggregates as the sequential one (timings may
+// differ under contention).
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	cfg := SweepConfig{
+		Ds:        []int{40},
+		Algos:     []Algo{AlgoPBS},
+		Instances: 4,
+		SizeA:     4000,
+		BaseSeed:  21,
+	}
+	seq, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 4
+	par, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq[0].SuccessRate != par[0].SuccessRate || seq[0].CommKB != par[0].CommKB ||
+		seq[0].MeanRounds != par[0].MeanRounds {
+		t.Errorf("parallel sweep diverged: seq=%+v par=%+v", seq[0], par[0])
+	}
+}

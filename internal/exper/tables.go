@@ -1,0 +1,156 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"pbs/internal/core"
+	"pbs/internal/markov"
+)
+
+// RoundsPMF reproduces Table 2 (Appendix J.1): the empirical probability
+// mass function of the number of rounds PBS needs to reconcile all distinct
+// elements, with unlimited rounds allowed. It returns pmf[r] for r = 1..len.
+func RoundsPMF(d, sizeA, instances int, baseSeed int64) ([]float64, error) {
+	counts := map[int]int{}
+	maxR := 0
+	for i := 0; i < instances; i++ {
+		inst, err := NewInstance(sizeA, d, baseSeed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		m, err := Run(AlgoPBS, inst, RunConfig{MaxRounds: 0})
+		if err != nil {
+			return nil, err
+		}
+		if !m.Success {
+			return nil, fmt.Errorf("exper: unlimited-round PBS failed at d=%d (instance %d)", d, i)
+		}
+		counts[m.Rounds]++
+		if m.Rounds > maxR {
+			maxR = m.Rounds
+		}
+	}
+	pmf := make([]float64, maxR)
+	for r, c := range counts {
+		pmf[r-1] = float64(c) / float64(instances)
+	}
+	return pmf, nil
+}
+
+// PrintTable1 renders the Appendix H success-probability lower-bound grid.
+func PrintTable1(w io.Writer, d, delta, r int, p0 float64) {
+	ts := []int{8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
+	ms := []uint{6, 7, 8, 9, 10, 11}
+	tab := markov.BoundTable(d, delta, r, ts, ms)
+	fmt.Fprintf(w, "Success-probability lower bound, d=%d δ=%d g=%d r=%d (cells ≥ %.0f%% marked *)\n",
+		d, delta, markov.NumGroups(d, delta), r, p0*100)
+	fmt.Fprintf(w, "%6s", "t\\n")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%10d", (uint64(1)<<m)-1)
+	}
+	fmt.Fprintln(w)
+	for i, t := range ts {
+		fmt.Fprintf(w, "%6d", t)
+		for j := range ms {
+			mark := " "
+			if tab[i][j] >= p0 {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "%9.1f%s", tab[i][j]*100, mark)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Sec52Row holds one row of the §5.2 study: the optimal parameters and
+// per-group communication for a round budget r.
+type Sec52Row struct {
+	R        int
+	M        uint
+	T        int
+	CommBits int // (t+δ)·m + δ·log|U| + log|U|
+}
+
+// Sec52 computes the §5.2 optimal communication per group pair for
+// r = 1..maxR (paper: 591, 402, 318, 288 bits for r = 1..4).
+func Sec52(d, delta, maxR int, p0 float64, sigBits int) ([]Sec52Row, error) {
+	var rows []Sec52Row
+	for r := 1; r <= maxR; r++ {
+		p, err := markov.Optimize(d, delta, r, p0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Sec52Row{
+			R: r, M: p.M, T: p.T,
+			CommBits: p.BitsPerGroup + delta*sigBits + sigBits,
+		})
+	}
+	return rows, nil
+}
+
+// Sec53 returns the §5.3 expected proportions of distinct elements
+// reconciled in rounds 1..rounds under the optimal parameters for the
+// given instance (paper: 0.962, 0.0380, 3.61e−4, 2.86e−6 at d=1000,
+// n=127, t=13).
+func Sec53(d, delta, r int, p0 float64, rounds int) ([]float64, markov.Params, error) {
+	p, err := markov.Optimize(d, delta, r, p0)
+	if err != nil {
+		return nil, markov.Params{}, err
+	}
+	c, err := markov.NewChain(p.N(), p.T)
+	if err != nil {
+		return nil, markov.Params{}, err
+	}
+	g := markov.NumGroups(d, delta)
+	return c.RoundProportions(d, g, rounds), p, nil
+}
+
+// DeltaSweepPoint is one δ value's outcome in the Fig. 4 ablation.
+type DeltaSweepPoint struct {
+	Delta int
+	Point Point
+}
+
+// DeltaSweep reproduces Figure 4: PBS at fixed d with δ varying, all other
+// parameters re-optimized per δ.
+func DeltaSweep(d int, deltas []int, sizeA, instances int, baseSeed int64) ([]DeltaSweepPoint, error) {
+	var out []DeltaSweepPoint
+	for _, delta := range deltas {
+		insts := make([]*Instance, instances)
+		for i := range insts {
+			inst, err := NewInstance(sizeA, d, baseSeed+int64(delta)*100+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			insts[i] = inst
+		}
+		pt := Point{D: d, Algo: AlgoPBS, Instances: instances}
+		for _, inst := range insts {
+			m, err := Run(AlgoPBS, inst, RunConfig{Delta: delta, MaxRounds: 3})
+			if err != nil {
+				return nil, err
+			}
+			if m.Success {
+				pt.SuccessRate++
+			}
+			pt.CommKB += m.CommBytes / 1024
+			pt.EncodeSec += m.EncodeSec
+			pt.DecodeSec += m.DecodeSec
+			pt.MeanRounds += float64(m.Rounds)
+		}
+		n := float64(instances)
+		pt.SuccessRate /= n
+		pt.CommKB /= n
+		pt.EncodeSec /= n
+		pt.DecodeSec /= n
+		pt.MeanRounds /= n
+		out = append(out, DeltaSweepPoint{Delta: delta, Point: pt})
+	}
+	return out, nil
+}
+
+// PlanFor exposes parameter planning to the harness CLI.
+func PlanFor(d, delta, r int, p0 float64) (core.Plan, error) {
+	return core.NewPlan(d, core.Config{Delta: delta, TargetRounds: r, TargetSuccess: p0})
+}

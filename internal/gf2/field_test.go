@@ -1,0 +1,296 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gf2PolyMulMod multiplies two polynomials over GF(2) (not GF(2^m)) modulo
+// the binary polynomial mod. Used only to verify irreducibility of the
+// field-defining polynomials.
+func gf2MulMod(a, b, mod uint64, deg uint) uint64 {
+	var r uint64
+	for b != 0 {
+		if b&1 != 0 {
+			r ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a&(1<<deg) != 0 {
+			a ^= mod
+		}
+	}
+	return r
+}
+
+// TestPrimitivePolysIrreducible checks that every table entry is irreducible
+// over GF(2): x^(2^m) == x (mod p) and gcd-style distinctness at proper
+// subfield levels, i.e. x^(2^k) != x (mod p) for all 1 <= k < m.
+func TestPrimitivePolysIrreducible(t *testing.T) {
+	for m := uint(2); m <= MaxM; m++ {
+		p := primitivePolys[m]
+		if p>>m != 1 {
+			t.Fatalf("m=%d: polynomial 0x%x does not have degree %d", m, p, m)
+		}
+		x := uint64(2) // the polynomial "x"
+		cur := x
+		for k := uint(1); k <= m; k++ {
+			cur = gf2MulMod(cur, cur, p, m) // cur = x^(2^k) mod p
+			if k < m && cur == x {
+				t.Errorf("m=%d: poly 0x%x reducible (x^(2^%d) == x)", m, p, k)
+			}
+			if k == m && cur != x {
+				t.Errorf("m=%d: poly 0x%x fails x^(2^m) == x", m, p)
+			}
+		}
+	}
+}
+
+func testFieldAxioms(t *testing.T, m uint, trials int) {
+	f := MustField(m)
+	rng := rand.New(rand.NewSource(int64(m) * 7919))
+	rnd := func() uint64 { return rng.Uint64() & ((1 << m) - 1) }
+	for i := 0; i < trials; i++ {
+		a, b, c := rnd(), rnd(), rnd()
+		if got := f.Mul(a, b); got != f.Mul(b, a) {
+			t.Fatalf("m=%d: Mul not commutative: %x*%x", m, a, b)
+		}
+		if got := f.Mul(f.Mul(a, b), c); got != f.Mul(a, f.Mul(b, c)) {
+			t.Fatalf("m=%d: Mul not associative", m)
+		}
+		if got := f.Mul(a, b^c); got != f.Mul(a, b)^f.Mul(a, c) {
+			t.Fatalf("m=%d: Mul not distributive over Add", m)
+		}
+		if got := f.Mul(a, 1); got != a {
+			t.Fatalf("m=%d: 1 not multiplicative identity: %x -> %x", m, a, got)
+		}
+		if got := f.Sqr(a); got != f.Mul(a, a) {
+			t.Fatalf("m=%d: Sqr(%x)=%x != Mul=%x", m, a, got, f.Mul(a, a))
+		}
+		if a != 0 {
+			if got := f.Mul(a, f.Inv(a)); got != 1 {
+				t.Fatalf("m=%d: a*Inv(a) != 1 for a=%x (got %x)", m, a, got)
+			}
+			if got := f.Mul(f.Div(b, a), a); got != b {
+				t.Fatalf("m=%d: Div roundtrip failed", m)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsSmall(t *testing.T) {
+	for m := uint(2); m <= 12; m++ {
+		testFieldAxioms(t, m, 500)
+	}
+}
+
+func TestFieldAxiomsLarge(t *testing.T) {
+	for _, m := range []uint{17, 20, 24, 29, 32} {
+		testFieldAxioms(t, m, 500)
+	}
+}
+
+// TestTableVsGeneric cross-checks the log/exp-table multiply against the
+// carry-less-multiply path on the same field degree.
+func TestTableVsGeneric(t *testing.T) {
+	for _, m := range []uint{8, 11, 13, 16} {
+		f := MustField(m)
+		// Build a "generic" twin without tables by reducing clmul directly.
+		rng := rand.New(rand.NewSource(int64(m)))
+		for i := 0; i < 2000; i++ {
+			a := rng.Uint64() & f.mask
+			b := rng.Uint64() & f.mask
+			want := f.reduce(clmul(a, b))
+			if a == 0 || b == 0 {
+				want = 0
+			}
+			if got := f.Mul(a, b); got != want {
+				t.Fatalf("m=%d: table Mul(%x,%x)=%x, generic=%x", m, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestWindowMulMatchesMul(t *testing.T) {
+	for _, m := range []uint{8, 16, 24, 32} {
+		f := MustField(m)
+		rng := rand.New(rand.NewSource(int64(m) * 31))
+		for i := 0; i < 500; i++ {
+			a := rng.Uint64() & f.mask
+			w := f.Window(a)
+			for j := 0; j < 10; j++ {
+				b := rng.Uint64() & f.mask
+				if got, want := w.Mul(b), f.Mul(a, b); got != want {
+					t.Fatalf("m=%d: Window(%x).Mul(%x)=%x want %x", m, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPowAndExp(t *testing.T) {
+	f := MustField(10)
+	for a := uint64(1); a < 50; a++ {
+		p := uint64(1)
+		for e := uint64(0); e < 20; e++ {
+			if got := f.Pow(a, e); got != p {
+				t.Fatalf("Pow(%d,%d)=%x want %x", a, e, got, p)
+			}
+			p = f.Mul(p, a)
+		}
+	}
+	// Exp must be consistent with Pow of the generator.
+	for e := uint64(0); e < 100; e++ {
+		if got, want := f.Exp(e), f.Pow(2, e); got != want {
+			t.Fatalf("Exp(%d)=%x want %x", e, got, want)
+		}
+	}
+}
+
+func TestPowZeroConventions(t *testing.T) {
+	f := MustField(8)
+	if f.Pow(0, 0) != 1 {
+		t.Error("Pow(0,0) should be 1")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("Pow(0,5) should be 0")
+	}
+}
+
+func TestFermatLittleTheorem(t *testing.T) {
+	// a^(2^m - 1) == 1 for all nonzero a; exhaustive on a small field,
+	// sampled on a large one.
+	f := MustField(8)
+	for a := uint64(1); a <= f.Order(); a++ {
+		if got := f.Pow(a, f.Order()); got != 1 {
+			t.Fatalf("m=8: a^(2^m-1) != 1 for a=%x (got %x)", a, got)
+		}
+	}
+	f32 := MustField(32)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		a := rng.Uint64() & ((1 << 32) - 1)
+		if a == 0 {
+			continue
+		}
+		if got := f32.Pow(a, f32.Order()); got != 1 {
+			t.Fatalf("m=32: a^(2^32-1) != 1 for a=%x (got %x)", a, got)
+		}
+	}
+}
+
+func TestTraceLinearAndBalanced(t *testing.T) {
+	f := MustField(11)
+	rng := rand.New(rand.NewSource(4))
+	ones := 0
+	for i := 0; i < 4000; i++ {
+		a := rng.Uint64() & f.mask
+		b := rng.Uint64() & f.mask
+		ta, tb := f.Trace(a), f.Trace(b)
+		if ta > 1 || tb > 1 {
+			t.Fatalf("trace out of range: %d %d", ta, tb)
+		}
+		if f.Trace(a^b) != ta^tb {
+			t.Fatalf("trace not additive at %x, %x", a, b)
+		}
+		ones += int(ta)
+	}
+	// Trace is balanced: about half the field has trace 1.
+	if ones < 1500 || ones > 2500 {
+		t.Errorf("trace looks unbalanced: %d/4000 ones", ones)
+	}
+}
+
+func TestNewFieldErrors(t *testing.T) {
+	for _, m := range []uint{0, 1, 33, 64} {
+		if _, err := NewField(m); err == nil {
+			t.Errorf("NewField(%d) should fail", m)
+		}
+	}
+	if f, err := NewField(8); err != nil || f == nil {
+		t.Fatalf("NewField(8) failed: %v", err)
+	}
+	// Cached: same pointer.
+	a := MustField(10)
+	b := MustField(10)
+	if a != b {
+		t.Error("fields of equal degree should be cached and shared")
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	f := MustField(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) should panic")
+		}
+	}()
+	f.Inv(0)
+}
+
+func TestDivZeroPanics(t *testing.T) {
+	f := MustField(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Div(x,0) should panic")
+		}
+	}()
+	f.Div(3, 0)
+}
+
+// Property-based: (a*b)*Inv(b) == a for random a, b != 0 in GF(2^32).
+func TestQuickMulInvRoundtrip(t *testing.T) {
+	f := MustField(32)
+	prop := func(a, b uint32) bool {
+		if b == 0 {
+			return true
+		}
+		x := f.Mul(uint64(a), uint64(b))
+		return f.Mul(x, f.Inv(uint64(b))) == uint64(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property-based: Frobenius is additive: (a+b)^2 == a^2 + b^2.
+func TestQuickFrobeniusAdditive(t *testing.T) {
+	f := MustField(32)
+	prop := func(a, b uint32) bool {
+		return f.Sqr(uint64(a)^uint64(b)) == f.Sqr(uint64(a))^f.Sqr(uint64(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulTable(b *testing.B) {
+	f := MustField(11)
+	x, y := uint64(1234), uint64(987)
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y) | 1
+	}
+	sink = x
+}
+
+func BenchmarkMulGeneric32(b *testing.B) {
+	f := MustField(32)
+	x, y := uint64(0x12345678), uint64(0x9abcdef0)
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y) | 1
+	}
+	sink = x
+}
+
+func BenchmarkWindowMul32(b *testing.B) {
+	f := MustField(32)
+	w := f.Window(0x9abcdef0)
+	x := uint64(0x12345678)
+	for i := 0; i < b.N; i++ {
+		x = w.Mul(x) | 1
+	}
+	sink = x
+}
+
+var sink uint64

@@ -1,0 +1,185 @@
+package gf2
+
+// Poly is a polynomial over GF(2^m), stored as coefficients in ascending
+// degree order: Poly{c0, c1, c2} = c0 + c1*x + c2*x^2. A nil or empty slice
+// is the zero polynomial. Polynomials are kept normalized (no trailing zero
+// coefficients) by the operations in this file.
+type Poly []uint64
+
+// NewPoly returns a normalized copy of coeffs.
+func NewPoly(coeffs ...uint64) Poly {
+	p := make(Poly, len(coeffs))
+	copy(p, coeffs)
+	return p.normalize()
+}
+
+func (p Poly) normalize() Poly {
+	i := len(p)
+	for i > 0 && p[i-1] == 0 {
+		i--
+	}
+	return p[:i]
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p) == 0 }
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Eval evaluates p at the point x using Horner's rule.
+func (p Poly) Eval(f *Field, x uint64) uint64 {
+	var acc uint64
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Mul(acc, x) ^ p[i]
+	}
+	return acc
+}
+
+// PolyAdd returns a + b (coefficient-wise XOR).
+func PolyAdd(a, b Poly) Poly {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	r := make(Poly, len(a))
+	copy(r, a)
+	for i := range b {
+		r[i] ^= b[i]
+	}
+	return r.normalize()
+}
+
+// PolyMul returns a * b over the field f.
+func PolyMul(f *Field, a, b Poly) Poly {
+	if a.IsZero() || b.IsZero() {
+		return nil
+	}
+	r := make(Poly, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		w := f.Window(ai)
+		for j, bj := range b {
+			if bj != 0 {
+				r[i+j] ^= w.Mul(bj)
+			}
+		}
+	}
+	return r.normalize()
+}
+
+// PolyMod returns a mod b over the field f. It panics if b is zero.
+func PolyMod(f *Field, a, b Poly) Poly {
+	if b.IsZero() {
+		panic("gf2: polynomial modulo by zero")
+	}
+	if a.Degree() < b.Degree() {
+		return a.Clone()
+	}
+	r := a.Clone()
+	invLead := f.Inv(b[len(b)-1])
+	for r.Degree() >= b.Degree() {
+		d := r.Degree() - b.Degree()
+		c := f.Mul(r[len(r)-1], invLead)
+		w := f.Window(c)
+		for i, bi := range b {
+			if bi != 0 {
+				r[d+i] ^= w.Mul(bi)
+			}
+		}
+		r = r.normalize()
+	}
+	return r
+}
+
+// PolyDivMod returns the quotient and remainder of a / b.
+func PolyDivMod(f *Field, a, b Poly) (q, r Poly) {
+	if b.IsZero() {
+		panic("gf2: polynomial division by zero")
+	}
+	if a.Degree() < b.Degree() {
+		return nil, a.Clone()
+	}
+	r = a.Clone()
+	q = make(Poly, a.Degree()-b.Degree()+1)
+	invLead := f.Inv(b[len(b)-1])
+	for r.Degree() >= b.Degree() {
+		d := r.Degree() - b.Degree()
+		c := f.Mul(r[len(r)-1], invLead)
+		q[d] = c
+		w := f.Window(c)
+		for i, bi := range b {
+			if bi != 0 {
+				r[d+i] ^= w.Mul(bi)
+			}
+		}
+		r = r.normalize()
+	}
+	return q.normalize(), r
+}
+
+// PolyGCD returns the monic greatest common divisor of a and b.
+func PolyGCD(f *Field, a, b Poly) Poly {
+	a, b = a.Clone(), b.Clone()
+	for !b.IsZero() {
+		a, b = b, PolyMod(f, a, b)
+	}
+	return a.Monic(f)
+}
+
+// Monic scales p so its leading coefficient is 1. The zero polynomial is
+// returned unchanged.
+func (p Poly) Monic(f *Field) Poly {
+	if p.IsZero() {
+		return p
+	}
+	lead := p[len(p)-1]
+	if lead == 1 {
+		return p
+	}
+	inv := f.Inv(lead)
+	w := f.Window(inv)
+	q := make(Poly, len(p))
+	for i, c := range p {
+		q[i] = w.Mul(c)
+	}
+	return q
+}
+
+// PolyMulMod returns a * b mod m over the field f.
+func PolyMulMod(f *Field, a, b, m Poly) Poly {
+	return PolyMod(f, PolyMul(f, a, b), m)
+}
+
+// PolySqrMod returns p^2 mod m. In characteristic 2, squaring a polynomial
+// squares each coefficient and doubles each exponent.
+func PolySqrMod(f *Field, p, m Poly) Poly {
+	if p.IsZero() {
+		return nil
+	}
+	sq := make(Poly, 2*len(p)-1)
+	for i, c := range p {
+		if c != 0 {
+			sq[2*i] = f.Sqr(c)
+		}
+	}
+	return PolyMod(f, Poly(sq).normalize(), m)
+}
+
+// PolyFrobeniusPower returns x^(2^k) mod m, computed by k modular squarings.
+func PolyFrobeniusPower(f *Field, k uint, m Poly) Poly {
+	p := NewPoly(0, 1) // x
+	p = PolyMod(f, p, m)
+	for i := uint(0); i < k; i++ {
+		p = PolySqrMod(f, p, m)
+	}
+	return p
+}

@@ -1,0 +1,164 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPoly(rng *rand.Rand, f *Field, maxDeg int) Poly {
+	n := rng.Intn(maxDeg + 2)
+	p := make(Poly, n)
+	for i := range p {
+		p[i] = rng.Uint64() & ((1 << f.M()) - 1)
+	}
+	return p.normalize()
+}
+
+func TestPolyNormalize(t *testing.T) {
+	p := NewPoly(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("degree = %d, want 1", p.Degree())
+	}
+	z := NewPoly(0, 0)
+	if !z.IsZero() || z.Degree() != -1 {
+		t.Fatal("zero polynomial not normalized")
+	}
+}
+
+func TestPolyEvalHorner(t *testing.T) {
+	f := MustField(8)
+	// p(x) = 3 + 5x + x^2; check p(2) by hand: 3 ^ Mul(5,2) ^ Sqr(2).
+	p := NewPoly(3, 5, 1)
+	want := uint64(3) ^ f.Mul(5, 2) ^ f.Sqr(2)
+	if got := p.Eval(f, 2); got != want {
+		t.Fatalf("Eval = %x, want %x", got, want)
+	}
+	if got := Poly(nil).Eval(f, 7); got != 0 {
+		t.Fatalf("zero poly eval = %x", got)
+	}
+}
+
+func TestPolyMulAddConsistency(t *testing.T) {
+	f := MustField(10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := randPoly(rng, f, 8), randPoly(rng, f, 8)
+		x := rng.Uint64() & ((1 << 10) - 1)
+		// (a*b)(x) == a(x)*b(x); (a+b)(x) == a(x)+b(x)
+		if got, want := PolyMul(f, a, b).Eval(f, x), f.Mul(a.Eval(f, x), b.Eval(f, x)); got != want {
+			t.Fatalf("mul-eval mismatch: %x want %x", got, want)
+		}
+		if got, want := PolyAdd(a, b).Eval(f, x), a.Eval(f, x)^b.Eval(f, x); got != want {
+			t.Fatalf("add-eval mismatch")
+		}
+	}
+}
+
+func TestPolyDivMod(t *testing.T) {
+	f := MustField(11)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a := randPoly(rng, f, 12)
+		b := randPoly(rng, f, 6)
+		if b.IsZero() {
+			continue
+		}
+		q, r := PolyDivMod(f, a, b)
+		if !r.IsZero() && r.Degree() >= b.Degree() {
+			t.Fatalf("remainder degree %d >= divisor degree %d", r.Degree(), b.Degree())
+		}
+		// a == q*b + r
+		recon := PolyAdd(PolyMul(f, q, b), r)
+		if len(recon) != len(a) {
+			t.Fatalf("reconstruction length mismatch: %v vs %v", recon, a)
+		}
+		for j := range a {
+			if recon[j] != a[j] {
+				t.Fatalf("reconstruction mismatch at %d", j)
+			}
+		}
+		// PolyMod must agree with the remainder.
+		r2 := PolyMod(f, a, b)
+		if len(r2) != len(r) {
+			t.Fatalf("PolyMod disagrees with PolyDivMod")
+		}
+		for j := range r {
+			if r[j] != r2[j] {
+				t.Fatalf("PolyMod coefficient mismatch")
+			}
+		}
+	}
+}
+
+func TestPolyGCDKnownFactors(t *testing.T) {
+	f := MustField(8)
+	// g = (x + 3)(x + 5); a = g*(x+7); b = g*(x+9). gcd(a,b) == g (monic).
+	g := PolyMul(f, NewPoly(3, 1), NewPoly(5, 1))
+	a := PolyMul(f, g, NewPoly(7, 1))
+	b := PolyMul(f, g, NewPoly(9, 1))
+	got := PolyGCD(f, a, b)
+	gm := g.Monic(f)
+	if got.Degree() != gm.Degree() {
+		t.Fatalf("gcd degree %d want %d", got.Degree(), gm.Degree())
+	}
+	for i := range gm {
+		if got[i] != gm[i] {
+			t.Fatalf("gcd mismatch: %v want %v", got, gm)
+		}
+	}
+}
+
+func TestPolySqrMod(t *testing.T) {
+	f := MustField(9)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		p := randPoly(rng, f, 6)
+		m := randPoly(rng, f, 4)
+		if m.Degree() < 1 {
+			continue
+		}
+		want := PolyMod(f, PolyMul(f, p, p), m)
+		got := PolySqrMod(f, p, m)
+		if len(got) != len(want) {
+			t.Fatalf("SqrMod length mismatch")
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("SqrMod mismatch")
+			}
+		}
+	}
+}
+
+func TestPolyFrobeniusPowerFixesField(t *testing.T) {
+	// x^(2^m) mod (x + c) == c for any field element c, because evaluation
+	// at the root c gives c^(2^m) = c.
+	f := MustField(8)
+	for _, c := range []uint64{1, 5, 77, 200} {
+		m := NewPoly(c, 1) // x + c, root c
+		p := PolyFrobeniusPower(f, f.M(), m)
+		if p.Degree() != 0 || p.Eval(f, 0) != c {
+			t.Fatalf("x^(2^m) mod (x+%d) = %v, want constant %d", c, p, c)
+		}
+	}
+}
+
+func TestMonic(t *testing.T) {
+	f := MustField(8)
+	p := NewPoly(6, 10, 4)
+	m := p.Monic(f)
+	if m[len(m)-1] != 1 {
+		t.Fatal("Monic leading coefficient != 1")
+	}
+	// Same roots: scale preserves evaluation-to-zero.
+	inv := f.Inv(4)
+	for i := range p {
+		if m[i] != f.Mul(p[i], inv) {
+			t.Fatal("Monic scaled incorrectly")
+		}
+	}
+	z := Poly(nil).Monic(f)
+	if !z.IsZero() {
+		t.Fatal("Monic of zero should be zero")
+	}
+}

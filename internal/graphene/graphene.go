@@ -1,0 +1,168 @@
+// Package graphene implements the Graphene baseline (Ozisik et al.),
+// Protocol I, as described in §7 of the PBS paper: it reconciles the
+// special case B ⊂ A (the paper's experiment setup, and Graphene's
+// best-case scenario) by combining a Bloom filter of B with an invertible
+// Bloom filter that recovers the Bloom filter's false positives.
+//
+// Alice filters her set through BF(B): elements rejected by the filter are
+// certainly in A\B; the survivors C = B ∪ FP contain about ε·d false
+// positives, which are recovered exactly by subtracting IBF(B) from
+// IBF(C) and peeling. The sizes of the BF (via its false-positive rate ε)
+// and the IBF are jointly optimized to minimize total bytes; when the BF
+// is not worth its O(|B|) cost — i.e. when d is small relative to |B| —
+// the optimizer degenerates to an IBF-only scheme (ε = 1), reproducing the
+// breakeven behaviour discussed in §8.2.
+package graphene
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pbs/internal/bloom"
+	"pbs/internal/ibf"
+)
+
+// Result reports a reconciliation outcome.
+type Result struct {
+	// Difference is the recovered A\B.
+	Difference []uint64
+	// Complete reports whether the IBF peeled fully.
+	Complete bool
+	// CommBits is the one-way (Bob to Alice) communication cost in bits.
+	CommBits int
+	// UsedBF reports whether the optimizer chose to send a Bloom filter
+	// (false = degenerate IBF-only mode).
+	UsedBF bool
+	// FPR is the chosen Bloom-filter false-positive rate (1 if no BF).
+	FPR float64
+	// EncodeTime is the time spent building the BF and IBFs (both parties).
+	EncodeTime time.Duration
+	// DecodeTime is the time spent filtering candidates and peeling.
+	DecodeTime time.Duration
+}
+
+// Config tunes the size optimizer.
+type Config struct {
+	// DHat is the (already conservatively scaled) difference estimate.
+	DHat int
+	// SigBits is the signature length log|U| used for accounting and IBF
+	// cell width.
+	SigBits uint
+	// Seed drives all hashing.
+	Seed uint64
+	// Tau is the IBF cells-per-difference headroom (default 2, like
+	// Difference Digest, which targets ~0.99; the 239/240 target of §8.2
+	// uses a slightly larger default slack).
+	Tau float64
+}
+
+// ibfSlackCells is added to every IBF sizing to absorb the variance of the
+// false-positive count at small expectations.
+const ibfSlackCells = 12
+
+// ibfCells returns the cell budget for an expected difference load.
+func ibfCells(expected float64, tau float64) int {
+	c := int(math.Ceil(tau*expected+3*math.Sqrt(expected))) + ibfSlackCells
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// planBits returns the predicted total communication in bits for a
+// candidate false-positive rate.
+func planBits(sizeB, dhat int, fpr float64, tau float64, sigBits uint) int {
+	ibfBits := ibfCells(float64(dhat)*fpr, tau) * 3 * int(sigBits)
+	if fpr >= 1 {
+		return ibfCells(float64(dhat), tau) * 3 * int(sigBits)
+	}
+	mBits, _ := bloom.Params(uint64(sizeB), fpr)
+	return int(mBits) + ibfBits
+}
+
+// optimize picks the fpr minimizing predicted bits over a log-spaced grid,
+// including the no-BF degenerate point.
+func optimize(sizeB, dhat int, tau float64, sigBits uint) (fpr float64, bits int) {
+	bestFPR, bestBits := 1.0, planBits(sizeB, dhat, 1, tau, sigBits)
+	for _, f := range []float64{0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005, 0.0001} {
+		if b := planBits(sizeB, dhat, f, tau, sigBits); b < bestBits {
+			bestBits, bestFPR = b, f
+		}
+	}
+	return bestFPR, bestBits
+}
+
+// Reconcile runs Graphene Protocol I: Alice holds a, Bob holds b, with
+// b ⊂ a assumed (the paper's setup). It returns Alice's recovered A\B.
+func Reconcile(a, b []uint64, cfg Config) (*Result, error) {
+	if cfg.DHat < 1 {
+		return nil, fmt.Errorf("graphene: estimated difference %d must be >= 1", cfg.DHat)
+	}
+	if cfg.SigBits == 0 {
+		cfg.SigBits = 32
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 2.2
+	}
+	fpr, _ := optimize(len(b), cfg.DHat, cfg.Tau, cfg.SigBits)
+	res := &Result{FPR: fpr, UsedBF: fpr < 1}
+
+	if !res.UsedBF {
+		// Degenerate mode: a plain IBF over the whole difference.
+		cells := ibfCells(float64(cfg.DHat), cfg.Tau)
+		encStart := time.Now()
+		fa := ibf.MustNew(cells, 4, cfg.Seed)
+		fb := ibf.MustNew(cells, 4, cfg.Seed)
+		fa.InsertSet(a)
+		fb.InsertSet(b)
+		res.EncodeTime = time.Since(encStart)
+		decStart := time.Now()
+		if err := fa.Subtract(fb); err != nil {
+			return nil, err
+		}
+		res.CommBits = fb.Bits(int(cfg.SigBits))
+		pos, neg, ok := fa.Decode()
+		res.DecodeTime = time.Since(decStart)
+		if !ok {
+			return res, nil
+		}
+		res.Complete = true
+		res.Difference = append(pos, neg...)
+		return res, nil
+	}
+
+	// Bob's transmission: BF(B) + IBF(B).
+	encStart := time.Now()
+	bf := bloom.NewOptimal(uint64(len(b)), fpr, cfg.Seed^0xBF)
+	bf.InsertSet(b)
+	cells := ibfCells(float64(cfg.DHat)*fpr, cfg.Tau)
+	fb := ibf.MustNew(cells, 4, cfg.Seed)
+	fb.InsertSet(b)
+	res.CommBits = int(bf.MBits()) + fb.Bits(int(cfg.SigBits))
+	res.EncodeTime = time.Since(encStart)
+
+	// Alice: split A by the BF; survivors form the candidate set C.
+	decStart := time.Now()
+	var definite []uint64 // rejected by BF: certainly in A\B
+	fc := ibf.MustNew(cells, 4, cfg.Seed)
+	for _, x := range a {
+		if bf.Contains(x) {
+			fc.Insert(x)
+		} else {
+			definite = append(definite, x)
+		}
+	}
+	if err := fc.Subtract(fb); err != nil {
+		return nil, err
+	}
+	fps, neg, ok := fc.Decode()
+	res.DecodeTime = time.Since(decStart)
+	if !ok || len(neg) != 0 {
+		// neg would mean B ⊄ A (or a peel error); either way, incomplete.
+		return res, nil
+	}
+	res.Complete = true
+	res.Difference = append(definite, fps...)
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package graphene
+
+import (
+	"sort"
+	"testing"
+
+	"pbs/internal/workload"
+)
+
+func assertSameSet(t *testing.T, got, want []uint64) {
+	t.Helper()
+	g := append([]uint64(nil), got...)
+	w := append([]uint64(nil), want...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	if len(g) != len(w) {
+		t.Fatalf("size mismatch: %d vs %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestReconcileSmallD(t *testing.T) {
+	// Small d relative to |B|: the optimizer should skip the BF.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: 20, Seed: 1})
+	res, err := Reconcile(p.A, p.B, Config{DHat: 28, SigBits: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	if res.UsedBF {
+		t.Error("BF should not pay off at d=20, |B|=20k")
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+func TestReconcileLargeDUsesBF(t *testing.T) {
+	// d comparable to |B|: the BF pays for itself.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 30000, D: 8000, Seed: 3})
+	res, err := Reconcile(p.A, p.B, Config{DHat: 9000, SigBits: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	if !res.UsedBF {
+		t.Error("BF should pay off at d=8000, |B|=22k")
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+func TestBreakevenMonotonicity(t *testing.T) {
+	// Predicted bits per difference element should drop after the
+	// breakeven point, reproducing the slope change of Fig. 2b.
+	sizeB := 100000
+	prevPerElem := 0.0
+	usedBFever := false
+	for _, d := range []int{100, 1000, 10000, 50000} {
+		fpr, bits := optimize(sizeB, d, 2.2, 32)
+		perElem := float64(bits) / float64(d)
+		if fpr < 1 {
+			usedBFever = true
+		}
+		if prevPerElem > 0 && perElem > prevPerElem*1.05 {
+			t.Errorf("per-element cost should not grow with d: %f -> %f at d=%d",
+				prevPerElem, perElem, d)
+		}
+		prevPerElem = perElem
+	}
+	if !usedBFever {
+		t.Error("optimizer never chose a BF even at d = |B|/2")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Reconcile(nil, nil, Config{DHat: 0}); err == nil {
+		t.Error("dhat=0 should error")
+	}
+}
+
+func TestUndersizedReportsIncomplete(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: 2000, Seed: 5})
+	res, err := Reconcile(p.A, p.B, Config{DHat: 50, SigBits: 32, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("severely under-provisioned Graphene should report incomplete")
+	}
+}
+
+func TestHighSuccessRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	ok := 0
+	const trials = 80
+	for i := 0; i < trials; i++ {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 5000, D: 50, Seed: int64(i)})
+		res, err := Reconcile(p.A, p.B, Config{DHat: 69, SigBits: 32, Seed: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Complete {
+			ok++
+		}
+	}
+	if ok < trials-2 {
+		t.Errorf("success %d/%d below the 239/240-style target", ok, trials)
+	}
+}

@@ -1,0 +1,183 @@
+// Package ibf implements Invertible Bloom Filters, the substrate of the
+// Difference Digest and Graphene baselines (§7 of the PBS paper) and of the
+// Strata set-difference estimator.
+//
+// Each cell has three fields — a signed count, an XOR of inserted element
+// IDs, and an XOR of element hash checks — each conceptually one word of
+// log|U| bits, so a filter of c cells costs 3·c·log|U| bits on the wire
+// (the paper's "6d·log|U| with 2d cells" accounting for D.Digest).
+//
+// Subtracting two filters built over sets A and B yields a filter of the
+// symmetric difference A△B, which is recovered by iteratively "peeling"
+// pure cells.
+package ibf
+
+import (
+	"fmt"
+
+	"pbs/internal/hashutil"
+)
+
+// Cell is a single IBF cell.
+type Cell struct {
+	Count   int32
+	IDSum   uint64
+	HashSum uint64
+}
+
+func (c *Cell) empty() bool { return c.Count == 0 && c.IDSum == 0 && c.HashSum == 0 }
+
+// Filter is an invertible Bloom filter with k index hash functions.
+type Filter struct {
+	k     int
+	seed  uint64
+	cells []Cell
+}
+
+// checkSeed offsets the element-check hash away from the index hashes.
+const checkSeed = 0xC0FFEE
+
+// New returns an empty filter with the given number of cells, k index
+// hashes, and hash seed. Both parties of a protocol must use identical
+// parameters and seed.
+func New(cells, k int, seed uint64) (*Filter, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("ibf: cells=%d must be >= 1", cells)
+	}
+	if k < 2 || k > 8 {
+		return nil, fmt.Errorf("ibf: k=%d out of sensible range [2,8]", k)
+	}
+	return &Filter{k: k, seed: seed, cells: make([]Cell, cells)}, nil
+}
+
+// MustNew is like New but panics on invalid parameters.
+func MustNew(cells, k int, seed uint64) *Filter {
+	f, err := New(cells, k, seed)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Cells returns the number of cells.
+func (f *Filter) Cells() int { return len(f.cells) }
+
+// K returns the number of index hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Bits returns the wire size in bits, counting each of the three cell
+// fields as sigBits wide (the paper counts each as one log|U|-bit word).
+func (f *Filter) Bits(sigBits int) int { return len(f.cells) * 3 * sigBits }
+
+// indexes computes the k distinct-ish cell indexes of x.
+func (f *Filter) indexes(x uint64, out []int) []int {
+	out = out[:0]
+	n := uint64(len(f.cells))
+	for i := 0; i < f.k; i++ {
+		out = append(out, int(hashutil.XXH64Uint64(x, f.seed+uint64(i)+1)%n))
+	}
+	return out
+}
+
+func (f *Filter) check(x uint64) uint64 {
+	return hashutil.XXH64Uint64(x, f.seed^checkSeed)
+}
+
+// Insert adds x to the filter.
+func (f *Filter) Insert(x uint64) { f.update(x, 1) }
+
+// Remove deletes x from the filter (x need not have been inserted; IBFs
+// tolerate negative membership, which is what makes subtraction work).
+func (f *Filter) Remove(x uint64) { f.update(x, -1) }
+
+func (f *Filter) update(x uint64, delta int32) {
+	var idx [8]int
+	h := f.check(x)
+	for _, i := range f.indexes(x, idx[:0]) {
+		f.cells[i].Count += delta
+		f.cells[i].IDSum ^= x
+		f.cells[i].HashSum ^= h
+	}
+}
+
+// InsertSet adds every element of set.
+func (f *Filter) InsertSet(set []uint64) {
+	for _, x := range set {
+		f.Insert(x)
+	}
+}
+
+// Subtract computes f − other cell-wise, in place. The result encodes the
+// symmetric difference of the two underlying sets, with elements unique to
+// f's set carrying positive counts and elements unique to other's carrying
+// negative counts.
+func (f *Filter) Subtract(other *Filter) error {
+	if len(f.cells) != len(other.cells) || f.k != other.k || f.seed != other.seed {
+		return fmt.Errorf("ibf: filter shape mismatch")
+	}
+	for i := range f.cells {
+		f.cells[i].Count -= other.cells[i].Count
+		f.cells[i].IDSum ^= other.cells[i].IDSum
+		f.cells[i].HashSum ^= other.cells[i].HashSum
+	}
+	return nil
+}
+
+// Clone returns an independent copy of f.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{k: f.k, seed: f.seed, cells: make([]Cell, len(f.cells))}
+	copy(c.cells, f.cells)
+	return c
+}
+
+// Decode peels the filter (assumed to be a difference of two filters) and
+// returns the elements unique to the first operand (positive) and to the
+// second (negative). ok is false if peeling stalls before the filter
+// empties, i.e. the decode failed.
+//
+// Decode consumes f: on return f's cells are in a partially peeled state.
+func (f *Filter) Decode() (positive, negative []uint64, ok bool) {
+	queue := make([]int, 0, len(f.cells))
+	for i := range f.cells {
+		if f.pure(i) {
+			queue = append(queue, i)
+		}
+	}
+	var idx [8]int
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !f.pure(i) {
+			continue // may have been disturbed since enqueued
+		}
+		c := f.cells[i]
+		x := c.IDSum
+		if c.Count == 1 {
+			positive = append(positive, x)
+		} else {
+			negative = append(negative, x)
+		}
+		delta := -c.Count
+		h := f.check(x)
+		for _, j := range f.indexes(x, idx[:0]) {
+			f.cells[j].Count += delta
+			f.cells[j].IDSum ^= x
+			f.cells[j].HashSum ^= h
+			if f.pure(j) {
+				queue = append(queue, j)
+			}
+		}
+	}
+	for i := range f.cells {
+		if !f.cells[i].empty() {
+			return positive, negative, false
+		}
+	}
+	return positive, negative, true
+}
+
+// pure reports whether cell i holds exactly one element.
+func (f *Filter) pure(i int) bool {
+	c := f.cells[i]
+	return (c.Count == 1 || c.Count == -1) && c.HashSum == f.check(c.IDSum)
+}

@@ -1,0 +1,203 @@
+package ibf
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedU64(xs []uint64) []uint64 {
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func assertSetEqual(t *testing.T, got, want []uint64) {
+	t.Helper()
+	g, w := sortedU64(got), sortedU64(want)
+	if len(g) != len(w) {
+		t.Fatalf("size %d want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, g, w)
+		}
+	}
+}
+
+func distinct(rng *rand.Rand, k int, excl map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, k)
+	seen := map[uint64]bool{}
+	for len(out) < k {
+		x := rng.Uint64()
+		if x == 0 || seen[x] || excl[x] {
+			continue
+		}
+		seen[x] = true
+		out = append(out, x)
+	}
+	return out
+}
+
+func TestSubtractDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	common := distinct(rng, 500, nil)
+	cm := map[uint64]bool{}
+	for _, c := range common {
+		cm[c] = true
+	}
+	onlyA := distinct(rng, 12, cm)
+	for _, x := range onlyA {
+		cm[x] = true
+	}
+	onlyB := distinct(rng, 8, cm)
+
+	fa := MustNew(60, 3, 99) // 3 cells per difference: comfortable
+	fb := MustNew(60, 3, 99)
+	fa.InsertSet(common)
+	fa.InsertSet(onlyA)
+	fb.InsertSet(common)
+	fb.InsertSet(onlyB)
+	if err := fa.Subtract(fb); err != nil {
+		t.Fatal(err)
+	}
+	pos, neg, ok := fa.Decode()
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	assertSetEqual(t, pos, onlyA)
+	assertSetEqual(t, neg, onlyB)
+}
+
+func TestDecodeEmptyDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	set := distinct(rng, 100, nil)
+	fa := MustNew(20, 4, 5)
+	fb := MustNew(20, 4, 5)
+	fa.InsertSet(set)
+	fb.InsertSet(set)
+	fa.Subtract(fb)
+	pos, neg, ok := fa.Decode()
+	if !ok || len(pos) != 0 || len(neg) != 0 {
+		t.Fatalf("empty difference should decode cleanly: %v %v %v", pos, neg, ok)
+	}
+}
+
+func TestUndersizedFilterFailsGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	onlyA := distinct(rng, 100, nil)
+	fa := MustNew(30, 3, 7) // 30 cells for 100 differences: must fail
+	fb := MustNew(30, 3, 7)
+	fa.InsertSet(onlyA)
+	fa.Subtract(fb)
+	_, _, ok := fa.Decode()
+	if ok {
+		t.Fatal("decode should fail when cells << differences")
+	}
+}
+
+func TestInsertRemoveCancels(t *testing.T) {
+	f := MustNew(16, 3, 1)
+	f.Insert(42)
+	f.Remove(42)
+	pos, neg, ok := f.Decode()
+	if !ok || len(pos)+len(neg) != 0 {
+		t.Fatal("insert+remove should leave an empty filter")
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	a := MustNew(16, 3, 1)
+	for _, b := range []*Filter{MustNew(17, 3, 1), MustNew(16, 4, 1), MustNew(16, 3, 2)} {
+		if err := a.Subtract(b); err == nil {
+			t.Error("shape mismatch should error")
+		}
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	f := MustNew(100, 3, 0)
+	if f.Bits(32) != 100*3*32 {
+		t.Fatalf("Bits(32) = %d", f.Bits(32))
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := New(0, 3, 0); err == nil {
+		t.Error("cells=0 should fail")
+	}
+	if _, err := New(10, 1, 0); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := New(10, 9, 0); err == nil {
+		t.Error("k=9 should fail")
+	}
+}
+
+// Property: for random differences up to 10 with 2x cell headroom and k=4,
+// decode almost always succeeds and returns exactly the difference. We
+// tolerate rare peel failures (they are the documented IBF failure mode)
+// but never a wrong answer.
+func TestQuickDecodeNeverWrong(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		da := rng.Intn(10)
+		db := rng.Intn(10)
+		onlyA := distinct(rng, da, nil)
+		excl := map[uint64]bool{}
+		for _, x := range onlyA {
+			excl[x] = true
+		}
+		onlyB := distinct(rng, db, excl)
+		fa := MustNew(3*(da+db)+8, 4, uint64(seed))
+		fb := MustNew(3*(da+db)+8, 4, uint64(seed))
+		fa.InsertSet(onlyA)
+		fb.InsertSet(onlyB)
+		fa.Subtract(fb)
+		pos, neg, ok := fa.Decode()
+		if !ok {
+			return true // failure is allowed, wrongness is not
+		}
+		pg, wg := sortedU64(pos), sortedU64(onlyA)
+		ng, nw := sortedU64(neg), sortedU64(onlyB)
+		if len(pg) != len(wg) || len(ng) != len(nw) {
+			return false
+		}
+		for i := range pg {
+			if pg[i] != wg[i] {
+				return false
+			}
+		}
+		for i := range ng {
+			if ng[i] != nw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := MustNew(1024, 3, 0)
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i)*2654435761 + 1)
+	}
+}
+
+func BenchmarkDecodeD100(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	only := distinct(rng, 100, nil)
+	base := MustNew(300, 3, 0)
+	base.InsertSet(only)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := base.Clone()
+		if _, _, ok := f.Decode(); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}

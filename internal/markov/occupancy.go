@@ -1,0 +1,109 @@
+package markov
+
+import "math"
+
+// OccupancyProbs holds the exact probabilities of the §2.3 exception events
+// when d balls (distinct elements) are thrown uniformly into n bins
+// (subset pairs).
+type OccupancyProbs struct {
+	// Ideal is the probability every ball lands alone (§2.2.1's
+	// Π (1 − k/n)).
+	Ideal float64
+	// TypeI is the probability some bin holds a nonzero even number of
+	// balls (parity hides the difference; the codeword cannot see it).
+	TypeI float64
+	// TypeII is the probability some bin holds an odd number ≥ 3 of balls
+	// (a fake distinct element is produced).
+	TypeII float64
+}
+
+// Occupancy computes the exact event probabilities by enumerating integer
+// partitions of d (feasible for the small per-group d PBS works with;
+// d ≤ 25 enumerates fewer than 2000 partitions). Each partition λ of d
+// into k parts corresponds to an occupancy profile, with probability
+//
+//	d! / (Π λi! · Π m_j!) · n·(n−1)···(n−k+1) / n^d
+//
+// where m_j are the multiplicities of equal parts.
+func Occupancy(d int, n uint64) OccupancyProbs {
+	if d < 0 || d > 25 {
+		panic("markov: Occupancy supports 0 <= d <= 25")
+	}
+	var out OccupancyProbs
+	if d == 0 {
+		out.Ideal = 1
+		return out
+	}
+	lg := func(x float64) float64 { v, _ := math.Lgamma(x); return v }
+	logNFact := lg(float64(d) + 1)
+	logN := math.Log(float64(n))
+
+	parts := make([]int, 0, d)
+	var walk func(remaining, maxPart int)
+	walk = func(remaining, maxPart int) {
+		if remaining == 0 {
+			k := len(parts)
+			if uint64(k) > n {
+				return
+			}
+			// log multinomial coefficient over the parts.
+			logP := logNFact
+			for _, p := range parts {
+				logP -= lg(float64(p) + 1)
+			}
+			// Multiplicities of equal part sizes.
+			mult := map[int]int{}
+			for _, p := range parts {
+				mult[p]++
+			}
+			for _, m := range mult {
+				logP -= lg(float64(m) + 1)
+			}
+			// Falling factorial n·(n−1)···(n−k+1) / n^d.
+			for i := 0; i < k; i++ {
+				logP += math.Log(float64(n) - float64(i))
+			}
+			logP -= float64(d) * logN
+			p := math.Exp(logP)
+
+			hasEven, hasBigOdd := false, false
+			for _, part := range parts {
+				if part%2 == 0 {
+					hasEven = true
+				}
+				if part%2 == 1 && part >= 3 {
+					hasBigOdd = true
+				}
+			}
+			if !hasEven && !hasBigOdd {
+				out.Ideal += p
+			}
+			if hasEven {
+				out.TypeI += p
+			}
+			if hasBigOdd {
+				out.TypeII += p
+			}
+			return
+		}
+		limit := maxPart
+		if remaining < limit {
+			limit = remaining
+		}
+		for p := limit; p >= 1; p-- {
+			parts = append(parts, p)
+			walk(remaining-p, p)
+			parts = parts[:len(parts)-1]
+		}
+	}
+	walk(d, d)
+	return out
+}
+
+// FakePassProbability returns the §2.3 probability that a type (II)
+// exception occurs AND its fake distinct element survives the Procedure 3
+// sub-universe check: TypeII · 1/n (the fake element is a uniform XOR sum,
+// so it lands in the observed bin's sub-universe with probability 1/n).
+func FakePassProbability(d int, n uint64) float64 {
+	return Occupancy(d, n).TypeII / float64(n)
+}

@@ -1,0 +1,105 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestOccupancyPaperNumbers reproduces the §1.3.1 and §2.3 worked example:
+// d = 5 balls into n = 255 bins.
+func TestOccupancyPaperNumbers(t *testing.T) {
+	oc := Occupancy(5, 255)
+	// §1.3.1: ideal case probability 0.96.
+	if math.Abs(oc.Ideal-0.961) > 0.002 {
+		t.Errorf("ideal = %.4f, paper says ~0.96", oc.Ideal)
+	}
+	// §2.3: type (I) "roughly 0.04".
+	if math.Abs(oc.TypeI-0.039) > 0.003 {
+		t.Errorf("type I = %.4f, paper says ~0.04", oc.TypeI)
+	}
+	// §2.3: type (II) 1.52×10⁻⁴.
+	if oc.TypeII < 1.3e-4 || oc.TypeII > 1.75e-4 {
+		t.Errorf("type II = %.3g, paper says 1.52e-4", oc.TypeII)
+	}
+	// §2.3: fake element passes the filter with probability ≈ 6×10⁻⁷
+	// (1.52e-4 × 1/255).
+	if fp := FakePassProbability(5, 255); fp < 4e-7 || fp > 8e-7 {
+		t.Errorf("fake-pass probability = %.3g, paper says ~6e-7", fp)
+	}
+}
+
+func TestOccupancyProbabilitiesSumAndBounds(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 5, 10, 20} {
+		oc := Occupancy(d, 127)
+		for name, p := range map[string]float64{"ideal": oc.Ideal, "typeI": oc.TypeI, "typeII": oc.TypeII} {
+			if p < 0 || p > 1 {
+				t.Errorf("d=%d: %s = %f out of [0,1]", d, name, p)
+			}
+		}
+		// Ideal matches the closed form Π (1 − k/n).
+		want := 1.0
+		for k := 1; k < d; k++ {
+			want *= 1 - float64(k)/127
+		}
+		if math.Abs(oc.Ideal-want) > 1e-9 {
+			t.Errorf("d=%d: ideal %.9f, closed form %.9f", d, oc.Ideal, want)
+		}
+	}
+	if oc := Occupancy(1, 10); oc.TypeI != 0 || oc.TypeII != 0 || oc.Ideal != 1 {
+		t.Error("single ball can produce no exceptions")
+	}
+}
+
+// TestOccupancyAgainstMonteCarlo validates the partition enumeration with
+// brute-force throws.
+func TestOccupancyAgainstMonteCarlo(t *testing.T) {
+	const d, n = 7, 63
+	oc := Occupancy(d, n)
+	rng := rand.New(rand.NewSource(2))
+	const trials = 300000
+	var ideal, t1, t2 int
+	for i := 0; i < trials; i++ {
+		var bins [n + 1]int
+		for b := 0; b < d; b++ {
+			bins[rng.Intn(n)+1]++
+		}
+		hasEven, hasBigOdd := false, false
+		for _, c := range bins {
+			if c > 0 && c%2 == 0 {
+				hasEven = true
+			}
+			if c >= 3 && c%2 == 1 {
+				hasBigOdd = true
+			}
+		}
+		if !hasEven && !hasBigOdd {
+			ideal++
+		}
+		if hasEven {
+			t1++
+		}
+		if hasBigOdd {
+			t2++
+		}
+	}
+	check := func(name string, count int, want float64) {
+		got := float64(count) / trials
+		se := math.Sqrt(want*(1-want)/trials) + 1e-9
+		if math.Abs(got-want) > 6*se+1e-4 {
+			t.Errorf("%s: MC %.5f vs exact %.5f", name, got, want)
+		}
+	}
+	check("ideal", ideal, oc.Ideal)
+	check("typeI", t1, oc.TypeI)
+	check("typeII", t2, oc.TypeII)
+}
+
+func TestOccupancyPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("d=26 should panic")
+		}
+	}()
+	Occupancy(26, 100)
+}

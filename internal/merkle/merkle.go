@@ -1,0 +1,132 @@
+// Package merkle implements the Merkle-tree verification mechanism that
+// §2.2.3 of the PBS paper points to for applications (Bitcoin, Ethereum)
+// that must drive the false-verification probability to practically zero:
+// a binary hash tree whose root certifies the integrity and consistency of
+// an ordered set of transactions, with logarithmic-size membership proofs.
+//
+// The blockchain relay example uses it to certify that a mempool obtained
+// via PBS reconciliation matches the peer's, independent of the protocol's
+// own checksums.
+package merkle
+
+import (
+	"fmt"
+	"sort"
+
+	"pbs/internal/hashutil"
+)
+
+// Root is a 128-bit tree root (two 64-bit lanes; the package is about
+// reproducing the verification structure, not about cryptographic strength
+// — swap hashLeaf/hashNode for a cryptographic hash in production).
+type Root [2]uint64
+
+// Tree is a Merkle tree over a sorted set of uint64 element IDs.
+type Tree struct {
+	seed   uint64
+	leaves []uint64 // sorted element IDs
+	levels [][]Root // levels[0] = leaf hashes, last level has length 1
+}
+
+func hashLeaf(x, seed uint64) Root {
+	return Root{
+		hashutil.XXH64Uint64(x, seed^0x1EAF),
+		hashutil.XXH64Uint64(x, seed^0x1EAF2),
+	}
+}
+
+func hashNode(l, r Root, seed uint64) Root {
+	h1 := hashutil.XXH64Uint64(l[0]^r[1], seed+1)
+	h2 := hashutil.XXH64Uint64(l[1]^r[0], seed+2)
+	return Root{
+		hashutil.XXH64Uint64(h1, h2),
+		hashutil.XXH64Uint64(h2, h1^seed),
+	}
+}
+
+// New builds a tree over set (copied and sorted internally). An empty set
+// yields a zero root.
+func New(set []uint64, seed uint64) *Tree {
+	leaves := append([]uint64(nil), set...)
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	t := &Tree{seed: seed, leaves: leaves}
+	if len(leaves) == 0 {
+		return t
+	}
+	level := make([]Root, len(leaves))
+	for i, x := range leaves {
+		level[i] = hashLeaf(x, seed)
+	}
+	t.levels = append(t.levels, level)
+	for len(level) > 1 {
+		next := make([]Root, (len(level)+1)/2)
+		for i := range next {
+			l := level[2*i]
+			r := l // odd node pairs with itself, Bitcoin-style
+			if 2*i+1 < len(level) {
+				r = level[2*i+1]
+			}
+			next[i] = hashNode(l, r, t.seed)
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the tree root (zero for an empty tree).
+func (t *Tree) Root() Root {
+	if len(t.levels) == 0 {
+		return Root{}
+	}
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Size returns the number of leaves.
+func (t *Tree) Size() int { return len(t.leaves) }
+
+// ProofStep is one sibling hash along a membership proof, with its side.
+type ProofStep struct {
+	Sibling Root
+	Left    bool // sibling is the left child
+}
+
+// Prove returns a membership proof for x, or an error if x is not in the
+// set.
+func (t *Tree) Prove(x uint64) ([]ProofStep, error) {
+	i := sort.Search(len(t.leaves), func(j int) bool { return t.leaves[j] >= x })
+	if i >= len(t.leaves) || t.leaves[i] != x {
+		return nil, fmt.Errorf("merkle: element %#x not in tree", x)
+	}
+	var proof []ProofStep
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		level := t.levels[lvl]
+		sib := i ^ 1
+		if sib >= len(level) {
+			sib = i // odd node pairs with itself
+		}
+		proof = append(proof, ProofStep{Sibling: level[sib], Left: sib < i})
+		i /= 2
+	}
+	return proof, nil
+}
+
+// Verify checks a membership proof for x against root.
+func Verify(x uint64, proof []ProofStep, root Root, seed uint64) bool {
+	h := hashLeaf(x, seed)
+	for _, step := range proof {
+		if step.Left {
+			h = hashNode(step.Sibling, h, seed)
+		} else {
+			h = hashNode(h, step.Sibling, seed)
+		}
+	}
+	return h == root
+}
+
+// SameSet reports whether two parties' trees certify identical sets — the
+// final consistency check a blockchain node runs after reconciliation.
+func SameSet(a, b *Tree) bool {
+	return a.Size() == b.Size() && a.Root() == b.Root()
+}

@@ -1,0 +1,116 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomSet(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		x := rng.Uint64() | 1
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestRootDeterministicAndOrderIndependent(t *testing.T) {
+	set := randomSet(100, 1)
+	a := New(set, 7)
+	shuffled := append([]uint64(nil), set...)
+	rand.New(rand.NewSource(2)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := New(shuffled, 7)
+	if a.Root() != b.Root() {
+		t.Fatal("root must not depend on insertion order")
+	}
+	if !SameSet(a, b) {
+		t.Fatal("SameSet must hold for identical sets")
+	}
+}
+
+func TestRootSensitivity(t *testing.T) {
+	set := randomSet(50, 3)
+	a := New(set, 1)
+	// Any single-element change must change the root.
+	changed := append([]uint64(nil), set...)
+	changed[10] ^= 2
+	b := New(changed, 1)
+	if a.Root() == b.Root() {
+		t.Fatal("root unchanged after element mutation")
+	}
+	// Adding an element must change the root.
+	c := New(append(append([]uint64(nil), set...), 0xDEAD), 1)
+	if a.Root() == c.Root() || SameSet(a, c) {
+		t.Fatal("root unchanged after insertion")
+	}
+	// Different seeds must give different roots.
+	d := New(set, 2)
+	if a.Root() == d.Root() {
+		t.Fatal("seed ignored")
+	}
+}
+
+func TestMembershipProofs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 100} {
+		set := randomSet(n, int64(n))
+		tree := New(set, 5)
+		for _, x := range set {
+			proof, err := tree.Prove(x)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if !Verify(x, proof, tree.Root(), 5) {
+				t.Fatalf("n=%d: valid proof rejected for %#x", n, x)
+			}
+			// The same proof must not validate a different element.
+			if Verify(x^1, proof, tree.Root(), 5) {
+				t.Fatalf("n=%d: proof accepted for wrong element", n)
+			}
+		}
+	}
+}
+
+func TestProveMissing(t *testing.T) {
+	tree := New([]uint64{1, 2, 3}, 0)
+	if _, err := tree.Prove(4); err == nil {
+		t.Fatal("proof for a missing element must fail")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(nil, 0)
+	if tree.Root() != (Root{}) || tree.Size() != 0 {
+		t.Fatal("empty tree must have zero root")
+	}
+}
+
+func TestTamperedProofFails(t *testing.T) {
+	set := randomSet(64, 9)
+	tree := New(set, 3)
+	proof, err := tree.Prove(set[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof[1].Sibling[0] ^= 1
+	if Verify(set[5], proof, tree.Root(), 3) {
+		t.Fatal("tampered proof accepted")
+	}
+}
+
+func TestProofLengthLogarithmic(t *testing.T) {
+	tree := New(randomSet(1000, 11), 1)
+	proof, err := tree.Prove(tree.leaves[500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) != 10 { // ceil(log2(1000))
+		t.Fatalf("proof length = %d, want 10", len(proof))
+	}
+}

@@ -1,0 +1,237 @@
+// Package pinsketch implements the PinSketch baseline (Dodis et al.,
+// described in §7 of the PBS paper) and its partitioned variant
+// PinSketch/WP (§8.3).
+//
+// PinSketch views a set S over a 32-bit universe as a 2^32-bit indicator
+// bitmap and transmits a BCH syndrome sketch over GF(2^32) with
+// error-correction capacity t. XORing the two parties' sketches yields the
+// sketch of A△B, whose decode returns the difference elements directly.
+// Communication is near-optimal (t·log|U| bits) but decoding costs O(t²)
+// finite-field operations — the tradeoff PBS is designed to break.
+//
+// PinSketch/WP applies PBS's grouping trick to PinSketch: hash-partition
+// both sets into g = d/δ groups and sketch each group pair with the same
+// per-group t as PBS. Decoding becomes O(d) but each codeword symbol is
+// log|U| bits instead of PBS's log n, which is why it loses to PBS on
+// communication (§8.3).
+package pinsketch
+
+import (
+	"fmt"
+	"time"
+
+	"pbs/internal/bch"
+	"pbs/internal/hashutil"
+)
+
+// Result reports a reconciliation outcome.
+type Result struct {
+	// Difference is the recovered A△B (nil on failure).
+	Difference []uint64
+	// Complete reports whether decoding succeeded (and, for /WP, whether
+	// every group verified within the round budget).
+	Complete bool
+	// CommBits is the one-way communication cost in bits.
+	CommBits int
+	// Rounds is the number of exchanges (always 1 for plain PinSketch).
+	Rounds int
+	// SketchesSent counts capacity-T sketches transmitted (for re-pricing
+	// the payload at other signature widths, App. J.3).
+	SketchesSent int
+	// EncodeTime is the time spent building sketches (both parties).
+	EncodeTime time.Duration
+	// DecodeTime is the time spent in BCH decoding and verification.
+	DecodeTime time.Duration
+}
+
+// Plain reconciles sets a and b (32-bit universes only) with a single
+// sketch of capacity t. It simulates both endpoints: Bob sends sketch(B)
+// plus a set checksum; Alice XORs her own sketch and decodes.
+func Plain(a, b []uint64, t int, sigBits uint) (*Result, error) {
+	if sigBits != 32 {
+		return nil, fmt.Errorf("pinsketch: only 32-bit universes supported (got %d)", sigBits)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("pinsketch: capacity t=%d must be >= 1", t)
+	}
+	sa, err := bch.New(32, t)
+	if err != nil {
+		return nil, err
+	}
+	sb := sa.Clone()
+	encStart := time.Now()
+	for _, x := range a {
+		sa.Add(x)
+	}
+	for _, x := range b {
+		sb.Add(x)
+	}
+	if err := sa.Xor(sb); err != nil {
+		return nil, err
+	}
+	res := &Result{CommBits: t*32 + 32, Rounds: 1, EncodeTime: time.Since(encStart)}
+	decStart := time.Now()
+	diff, derr := sa.Decode()
+	res.DecodeTime = time.Since(decStart)
+	if derr != nil {
+		return res, nil // decode failure: incomplete, reported truthfully
+	}
+	res.Difference = diff
+	res.Complete = true
+	return res, nil
+}
+
+// WPConfig parameterizes PinSketch/WP.
+type WPConfig struct {
+	// Groups is g = d/δ.
+	Groups int
+	// T is the per-group error-correction capacity (same value PBS uses).
+	T int
+	// MaxRounds caps rounds (0 = run to completion, safety-capped).
+	MaxRounds int
+	// SigBits is the signature length; accounting scales with it, the
+	// sketch field is always GF(2^32).
+	SigBits uint
+	// Seed drives the group and split hashing.
+	Seed uint64
+}
+
+const splitWays = 3
+const safetyRoundCap = 64
+
+// WP reconciles a and b with hash-partitioned PinSketch: one capacity-T
+// sketch per group pair, 3-way splits on decode failure, repeated until
+// every group pair verifies (per-group checksum, like PBS).
+func WP(a, b []uint64, cfg WPConfig) (*Result, error) {
+	if cfg.Groups < 1 || cfg.T < 1 {
+		return nil, fmt.Errorf("pinsketch: invalid WP config %+v", cfg)
+	}
+	if cfg.SigBits == 0 {
+		cfg.SigBits = 32
+	}
+	s := cfg.Seed
+	groupSeed := hashutil.SplitMix64(&s)
+	splitSeed := hashutil.SplitMix64(&s)
+
+	type scope struct {
+		path []int // split path
+		av   []uint64
+		bv   []uint64
+	}
+	groupsA := make([][]uint64, cfg.Groups)
+	groupsB := make([][]uint64, cfg.Groups)
+	for _, x := range a {
+		g := hashutil.Bucket(x, groupSeed, uint64(cfg.Groups))
+		groupsA[g] = append(groupsA[g], x)
+	}
+	for _, x := range b {
+		g := hashutil.Bucket(x, groupSeed, uint64(cfg.Groups))
+		groupsB[g] = append(groupsB[g], x)
+	}
+	active := make([]scope, cfg.Groups)
+	for g := range active {
+		active[g] = scope{av: groupsA[g], bv: groupsB[g]}
+	}
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 || maxRounds > safetyRoundCap {
+		maxRounds = safetyRoundCap
+	}
+	res := &Result{}
+	var diff []uint64
+	for round := 1; round <= maxRounds && len(active) > 0; round++ {
+		res.Rounds = round
+		var next []scope
+		for _, sc := range active {
+			encStart := time.Now()
+			sa := bch.MustNew(32, cfg.T)
+			for _, x := range sc.av {
+				sa.Add(x)
+			}
+			sb := bch.MustNew(32, cfg.T)
+			for _, x := range sc.bv {
+				sb.Add(x)
+			}
+			// Bob -> Alice: sketch + checksum.
+			res.CommBits += cfg.T*32 + int(cfg.SigBits)
+			res.SketchesSent++
+			if err := sa.Xor(sb); err != nil {
+				return nil, err
+			}
+			res.EncodeTime += time.Since(encStart)
+			decStart := time.Now()
+			d, derr := sa.Decode()
+			if derr == nil && !checksumOK(sc.av, sc.bv, d, cfg.SigBits) {
+				derr = bch.ErrDecodeFailure // miscorrection caught by checksum
+			}
+			res.DecodeTime += time.Since(decStart)
+			if derr != nil {
+				// Split three ways, like PBS §3.2.
+				seed := hashutil.XXH64Uint64(pathHash(sc.path), splitSeed)
+				childrenA := partition(sc.av, seed)
+				childrenB := partition(sc.bv, seed)
+				for i := 0; i < splitWays; i++ {
+					next = append(next, scope{
+						path: append(append([]int{}, sc.path...), i),
+						av:   childrenA[i],
+						bv:   childrenB[i],
+					})
+				}
+				continue
+			}
+			diff = append(diff, d...)
+		}
+		active = next
+	}
+	if len(active) > 0 {
+		res.Complete = false
+		res.Difference = diff
+		return res, nil
+	}
+	res.Complete = true
+	res.Difference = diff
+	return res, nil
+}
+
+// checksumOK verifies the decoded group difference against the plain-sum
+// checksum the same way Alice does in PBS: c(A △ diff) must equal c(B).
+func checksumOK(av, bv, diff []uint64, sigBits uint) bool {
+	mask := ^uint64(0)
+	if sigBits < 64 {
+		mask = (uint64(1) << sigBits) - 1
+	}
+	inA := make(map[uint64]struct{}, len(av))
+	var ca, cb uint64
+	for _, x := range av {
+		inA[x] = struct{}{}
+		ca = (ca + x) & mask
+	}
+	for _, x := range bv {
+		cb = (cb + x) & mask
+	}
+	for _, x := range diff {
+		if _, ok := inA[x]; ok {
+			ca = (ca - x) & mask
+		} else {
+			ca = (ca + x) & mask
+		}
+	}
+	return ca == cb
+}
+
+func pathHash(path []int) uint64 {
+	h := uint64(0x9E37)
+	for _, p := range path {
+		h = hashutil.XXH64Uint64(h, uint64(p)+1)
+	}
+	return h
+}
+
+func partition(set []uint64, seed uint64) [splitWays][]uint64 {
+	var out [splitWays][]uint64
+	for _, x := range set {
+		c := hashutil.Bucket(x, seed, splitWays)
+		out[c] = append(out[c], x)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package pinsketch
+
+import (
+	"sort"
+	"testing"
+
+	"pbs/internal/workload"
+)
+
+func assertSameSet(t *testing.T, got, want []uint64) {
+	t.Helper()
+	g := append([]uint64(nil), got...)
+	w := append([]uint64(nil), want...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	if len(g) != len(w) {
+		t.Fatalf("size mismatch: %d vs %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestPlainExactRecovery(t *testing.T) {
+	for _, d := range []int{0, 1, 7, 25} {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: d, Seed: int64(d)})
+		res, err := Plain(p.A, p.B, 30, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("d=%d: decode failed with t=30", d)
+		}
+		assertSameSet(t, res.Difference, p.Diff)
+		if res.CommBits != 30*32+32 {
+			t.Errorf("comm = %d bits", res.CommBits)
+		}
+	}
+}
+
+func TestPlainOverCapacityReportsFailure(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 40, Seed: 2})
+	res, err := Plain(p.A, p.B, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("decode with t=10 for d=40 should fail")
+	}
+}
+
+func TestPlainValidation(t *testing.T) {
+	if _, err := Plain(nil, nil, 0, 32); err == nil {
+		t.Error("t=0 should error")
+	}
+	if _, err := Plain(nil, nil, 5, 64); err == nil {
+		t.Error("non-32-bit universe should error")
+	}
+}
+
+func TestWPExactRecovery(t *testing.T) {
+	for _, d := range []int{5, 50, 200} {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: d, Seed: int64(d) * 3})
+		cfg := WPConfig{Groups: maxInt(1, d/5), T: 13, Seed: 11}
+		res, err := WP(p.A, p.B, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("d=%d incomplete after %d rounds", d, res.Rounds)
+		}
+		assertSameSet(t, res.Difference, p.Diff)
+	}
+}
+
+func TestWPSplitsRecoverFromOverload(t *testing.T) {
+	// One group, tiny t, large d: must split its way to success.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 5000, D: 60, Seed: 4})
+	res, err := WP(p.A, p.B, WPConfig{Groups: 1, T: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("incomplete after %d rounds", res.Rounds)
+	}
+	if res.Rounds < 2 {
+		t.Errorf("expected splits (rounds >= 2), got %d", res.Rounds)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+func TestWPCommHigherThanPBSFormula(t *testing.T) {
+	// §8.3: per group pair, PinSketch/WP pays (t+1)·log|U| while PBS pays
+	// t·log n + δ·(log n + log|U|) + log|U|; with t=13, δ=5, m=7:
+	// WP = 448 bits > PBS = 318 bits.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: 200, Seed: 6})
+	res, err := WP(p.A, p.B, WPConfig{Groups: 40, T: 13, Seed: 7})
+	if err != nil || !res.Complete {
+		t.Fatal("WP failed")
+	}
+	perGroup := float64(res.CommBits) / 40
+	if perGroup < 448 {
+		t.Errorf("per-group comm %.0f bits, expected >= 448 (first round alone)", perGroup)
+	}
+}
+
+func TestWPMaxRoundsHonored(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 50, Seed: 8})
+	res, err := WP(p.A, p.B, WPConfig{Groups: 1, T: 5, MaxRounds: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("t=5 for d=50 in one round should not complete")
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestWPValidation(t *testing.T) {
+	if _, err := WP(nil, nil, WPConfig{Groups: 0, T: 5}); err == nil {
+		t.Error("groups=0 should error")
+	}
+	if _, err := WP(nil, nil, WPConfig{Groups: 1, T: 0}); err == nil {
+		t.Error("t=0 should error")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

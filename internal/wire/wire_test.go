@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0x5, 3)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBool(true)
+	w.WriteBits(1, 1)
+	w.WriteUvarint(300)
+	w.WriteBits(0xFFFFFFFFFFFFFFFF, 64)
+	if w.Len() != 3+16+1+1+(3*5)+64 { // 300 needs 9 value bits -> 3 varint groups
+		t.Fatalf("bit length = %d", w.Len())
+	}
+
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0x5 {
+		t.Fatalf("got %x", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("got %x", v)
+	}
+	if b, _ := r.ReadBool(); !b {
+		t.Fatal("bool mismatch")
+	}
+	if v, _ := r.ReadBits(1); v != 1 {
+		t.Fatal("bit mismatch")
+	}
+	if v, _ := r.ReadUvarint(); v != 300 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v, _ := r.ReadBits(64); v != 0xFFFFFFFFFFFFFFFF {
+		t.Fatalf("got %x", v)
+	}
+}
+
+func TestRandomizedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type item struct {
+		v uint64
+		n uint
+	}
+	var items []item
+	w := NewWriter()
+	for i := 0; i < 5000; i++ {
+		n := uint(rng.Intn(64) + 1)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		items = append(items, item{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, it := range items {
+		got, err := r.ReadBits(it.n)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d: got %x want %x (width %d)", i, got, it.v, it.n)
+		}
+	}
+}
+
+func TestUvarintQuick(t *testing.T) {
+	prop := func(v uint64) bool {
+		w := NewWriter()
+		w.WriteUvarint(v)
+		r := NewReader(w.Bytes())
+		got, err := r.ReadUvarint()
+		return err == nil && got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrShortBuffer {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("8 bits should be available: %v", err)
+	}
+	if _, err := r.ReadBits(1); err != ErrShortBuffer {
+		t.Fatal("stream should be exhausted")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0, 13)
+	r := NewReader(w.Bytes())
+	if r.Remaining() != 16 { // padded to 2 bytes
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+	r.ReadBits(10)
+	if r.Remaining() != 6 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteBits(., 0) should panic")
+		}
+	}()
+	NewWriter().WriteBits(1, 0)
+}

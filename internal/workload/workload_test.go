@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratePaperSetup(t *testing.T) {
+	p, err := Generate(Config{UniverseBits: 32, SizeA: 5000, D: 37, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.A) != 5000 {
+		t.Fatalf("|A| = %d", len(p.A))
+	}
+	if len(p.B) != 5000-37 {
+		t.Fatalf("|B| = %d", len(p.B))
+	}
+	if len(p.Diff) != 37 {
+		t.Fatalf("|diff| = %d", len(p.Diff))
+	}
+	// B must be a subset of A; diff must be exactly A \ B.
+	inA := map[uint64]bool{}
+	for _, x := range p.A {
+		if x == 0 {
+			t.Fatal("element 0 must be excluded")
+		}
+		if inA[x] {
+			t.Fatal("duplicate element in A")
+		}
+		inA[x] = true
+	}
+	inB := map[uint64]bool{}
+	for _, x := range p.B {
+		if !inA[x] {
+			t.Fatal("B not a subset of A in paper setup")
+		}
+		inB[x] = true
+	}
+	for _, x := range p.Diff {
+		if !inA[x] || inB[x] {
+			t.Fatal("diff element not in A\\B")
+		}
+	}
+}
+
+func TestGenerateBidirectionalSplit(t *testing.T) {
+	p, err := Generate(Config{UniverseBits: 32, SizeA: 1000, D: 40, BOnlyFrac: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := map[uint64]bool{}
+	for _, x := range p.A {
+		inA[x] = true
+	}
+	inB := map[uint64]bool{}
+	for _, x := range p.B {
+		inB[x] = true
+	}
+	var aOnly, bOnly int
+	for _, x := range p.Diff {
+		switch {
+		case inA[x] && !inB[x]:
+			aOnly++
+		case inB[x] && !inA[x]:
+			bOnly++
+		default:
+			t.Fatal("diff element in both or neither set")
+		}
+	}
+	if aOnly != 20 || bOnly != 20 {
+		t.Fatalf("split = %d/%d, want 20/20", aOnly, bOnly)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p1 := MustGenerate(Config{UniverseBits: 32, SizeA: 100, D: 5, Seed: 7})
+	p2 := MustGenerate(Config{UniverseBits: 32, SizeA: 100, D: 5, Seed: 7})
+	for i := range p1.A {
+		if p1.A[i] != p2.A[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []Config{
+		{UniverseBits: 0, SizeA: 10, D: 1},
+		{UniverseBits: 65, SizeA: 10, D: 1},
+		{UniverseBits: 32, SizeA: 10, D: 11},
+		{UniverseBits: 8, SizeA: 1000, D: 0}, // universe too small
+		{UniverseBits: 32, SizeA: -1, D: 0},
+	}
+	for i, c := range cases {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestQuickDiffInvariant(t *testing.T) {
+	prop := func(seed int64, dRaw uint8) bool {
+		d := int(dRaw % 50)
+		p, err := Generate(Config{UniverseBits: 32, SizeA: 200, D: d, Seed: seed})
+		if err != nil {
+			return false
+		}
+		// |A△B| computed from scratch must equal d.
+		count := map[uint64]int{}
+		for _, x := range p.A {
+			count[x]++
+		}
+		for _, x := range p.B {
+			count[x]--
+		}
+		nd := 0
+		for _, c := range count {
+			if c != 0 {
+				nd++
+			}
+		}
+		return nd == d && len(p.Diff) == d
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package pbs implements Parity Bitmap Sketch (PBS) set reconciliation —
+// a space- and computationally-efficient scheme for two network-connected
+// hosts to learn the difference A△B between their sets A and B
+// (Gong et al., "Space- and Computationally-Efficient Set Reconciliation
+// via Parity Bitmap Sketch (PBS)", VLDB 2020).
+//
+// PBS combines the low O(d) decoding cost of invertible-Bloom-filter
+// schemes with communication overhead roughly twice the information-
+// theoretic minimum d·log|U|, and is "piecewise reconciliable": each group
+// pair decodes independently, so the vast majority of differences are
+// learned in the first round even when a few groups need more rounds.
+//
+// # Quick start
+//
+//	res, err := pbs.Reconcile(mine, theirs, nil)
+//	if err != nil { ... }
+//	fmt.Println(res.Difference) // = mine △ theirs
+//
+// Reconcile runs the full pipeline: a Tug-of-War estimate of d = |A△B|,
+// parameter optimization via the paper's Markov-chain framework, and the
+// multi-round PBS protocol. For real deployments across a network, either
+// run the complete wire protocol with SyncInitiator/SyncResponder (see
+// examples/filesync) or drive NewInitiator/NewResponder endpoints over
+// your own transport (see examples/kvsync).
+package pbs
+
+import (
+	"fmt"
+
+	"pbs/internal/core"
+	"pbs/internal/estimator"
+)
+
+// Options tunes a reconciliation. The zero value (or nil) selects the
+// paper's defaults: δ=5, r=3, p0=0.99, 32-bit signatures, ℓ=128 ToW
+// sketches, γ=1.38.
+type Options struct {
+	// Delta is the target average number of distinct elements per group.
+	Delta int
+	// TargetRounds is the round budget r the parameter optimizer plans for.
+	TargetRounds int
+	// TargetSuccess is the probability p0 of completing within TargetRounds.
+	TargetSuccess float64
+	// SigBits is the element signature length log|U| in bits (8..64).
+	// Elements must be nonzero and fit in SigBits bits.
+	SigBits uint
+	// Seed makes the run deterministic; both parties must agree on it.
+	Seed uint64
+	// MaxRounds caps protocol rounds. 0 runs to completion (recommended:
+	// the checksum layer guarantees correctness whenever it terminates).
+	MaxRounds int
+	// EstimatorSketches is the ToW sketch count ℓ (default 128).
+	EstimatorSketches int
+	// Gamma is the conservative scale applied to the estimate (default 1.38).
+	Gamma float64
+	// KnownD skips the estimator when > 0: the caller asserts |A△B| <= KnownD.
+	KnownD int
+	// StrongVerify adds a final multiset-hash verification exchange to
+	// SyncInitiator/SyncResponder sessions — the §2.2.3 hardening that
+	// pushes the false-verification probability to practically zero at the
+	// cost of 32 extra bytes and one extra message.
+	StrongVerify bool
+}
+
+func (o *Options) withDefaults() Options {
+	var opt Options
+	if o != nil {
+		opt = *o
+	}
+	if opt.EstimatorSketches == 0 {
+		opt.EstimatorSketches = estimator.DefaultSketches
+	}
+	if opt.Gamma == 0 {
+		opt.Gamma = estimator.DefaultGamma
+	}
+	return opt
+}
+
+func (o Options) coreConfig() core.Config {
+	return core.Config{
+		Delta:         o.Delta,
+		TargetRounds:  o.TargetRounds,
+		TargetSuccess: o.TargetSuccess,
+		SigBits:       o.SigBits,
+		Seed:          o.Seed,
+		MaxRounds:     o.MaxRounds,
+	}
+}
+
+// Result reports the outcome of a reconciliation.
+type Result struct {
+	// Difference is the learned A△B.
+	Difference []uint64
+	// Complete reports whether every group pair passed checksum
+	// verification within the round budget. When true, Difference is
+	// exactly A△B (up to the ~2^−SigBits false-verification probability
+	// analysed in §2.2.3 of the paper).
+	Complete bool
+	// Rounds is the number of message exchanges used.
+	Rounds int
+	// EstimatedD is the conservative difference-cardinality estimate the
+	// parameters were derived from (γ·d̂, or KnownD).
+	EstimatedD int
+	// PayloadBytes is the protocol communication overhead — codewords,
+	// positions, XOR sums, checksums — the quantity the paper reports.
+	PayloadBytes int
+	// WireBytes is the full serialized message volume including framing.
+	WireBytes int
+	// EstimatorBytes is the one-way cost of the ToW estimate exchange
+	// (0 when KnownD is used). The paper accounts it separately.
+	EstimatorBytes int
+}
+
+// Reconcile learns local △ remote. It simulates both endpoints in process,
+// which is the mode used by tests, examples, and the benchmark harness;
+// network deployments should instead run a Session per side.
+func Reconcile(local, remote []uint64, o *Options) (*Result, error) {
+	opt := o.withDefaults()
+	d := opt.KnownD
+	estBytes := 0
+	if d <= 0 {
+		tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+		if err != nil {
+			return nil, err
+		}
+		var bits int
+		d, bits, err = tow.EstimateD(local, remote, opt.Gamma)
+		if err != nil {
+			return nil, err
+		}
+		estBytes = (bits + 7) / 8
+	}
+	plan, err := core.NewPlan(d, opt.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Reconcile(local, remote, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Difference:     res.Difference,
+		Complete:       res.Complete,
+		Rounds:         res.Stats.Rounds,
+		EstimatedD:     d,
+		PayloadBytes:   res.Stats.TotalPayloadBytes(),
+		WireBytes:      res.Stats.TotalWireBytes(),
+		EstimatorBytes: estBytes,
+	}, nil
+}
+
+// Union returns local ∪ remote given a completed reconciliation result:
+// the local set plus every difference element not already in it.
+func Union(local []uint64, res *Result) []uint64 {
+	in := make(map[uint64]struct{}, len(local))
+	out := append([]uint64(nil), local...)
+	for _, x := range local {
+		in[x] = struct{}{}
+	}
+	for _, x := range res.Difference {
+		if _, ok := in[x]; !ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Plan is the concrete protocol parameterization both endpoints must agree
+// on (bitmap size, BCH capacity, group count, seed). Derive it with
+// PlanFor, then construct the two endpoints from it.
+type Plan = core.Plan
+
+// PlanFor derives a Plan for a conservative difference estimate d. Both
+// parties must call it with identical arguments.
+func PlanFor(d int, o *Options) (Plan, error) {
+	opt := o.withDefaults()
+	return core.NewPlan(d, opt.coreConfig())
+}
+
+// Session is one side's protocol endpoint. The initiator (Alice, the side
+// that learns the difference) repeatedly calls BuildRound and feeds the
+// peer's reply to AbsorbReply; the responder (Bob) answers each message
+// with HandleRound. See examples/kvsync for a complete exchange over a
+// network-style transport.
+type Session struct {
+	alice *core.Alice
+	bob   *core.Bob
+}
+
+// NewInitiator returns the endpoint that learns the difference.
+func NewInitiator(set []uint64, plan Plan) (*Session, error) {
+	a, err := core.NewAlice(set, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{alice: a}, nil
+}
+
+// NewResponder returns the endpoint that answers round messages.
+func NewResponder(set []uint64, plan Plan) (*Session, error) {
+	b, err := core.NewBob(set, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{bob: b}, nil
+}
+
+// BuildRound returns the next round message to send to the responder, or
+// nil when reconciliation is complete. Initiator only.
+func (s *Session) BuildRound() ([]byte, error) {
+	if s.alice == nil {
+		return nil, fmt.Errorf("pbs: BuildRound on a responder session")
+	}
+	return s.alice.BuildRound()
+}
+
+// AbsorbReply processes the responder's reply. Initiator only.
+func (s *Session) AbsorbReply(reply []byte) error {
+	if s.alice == nil {
+		return fmt.Errorf("pbs: AbsorbReply on a responder session")
+	}
+	return s.alice.AbsorbReply(reply)
+}
+
+// HandleRound answers one round message. Responder only.
+func (s *Session) HandleRound(msg []byte) ([]byte, error) {
+	if s.bob == nil {
+		return nil, fmt.Errorf("pbs: HandleRound on an initiator session")
+	}
+	return s.bob.HandleRound(msg)
+}
+
+// Done reports whether the initiator has verified every group pair.
+// Responder sessions are never "done" on their own; they answer for as
+// long as the initiator keeps asking.
+func (s *Session) Done() bool { return s.alice != nil && s.alice.Done() }
+
+// Difference returns the initiator's learned difference so far.
+func (s *Session) Difference() []uint64 {
+	if s.alice == nil {
+		return nil
+	}
+	return s.alice.Difference()
+}
+
+// Rounds returns the number of rounds the initiator has started.
+func (s *Session) Rounds() int {
+	if s.alice == nil {
+		return 0
+	}
+	return s.alice.Rounds()
+}

@@ -1,0 +1,166 @@
+package pbs
+
+import (
+	"sort"
+	"testing"
+
+	"pbs/internal/workload"
+)
+
+func assertSameSet(t *testing.T, got, want []uint64) {
+	t.Helper()
+	g := append([]uint64(nil), got...)
+	w := append([]uint64(nil), want...)
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	if len(g) != len(w) {
+		t.Fatalf("size mismatch: %d vs %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("element mismatch at %d", i)
+		}
+	}
+}
+
+func TestReconcileFullPipeline(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: 150, Seed: 1})
+	res, err := Reconcile(p.A, p.B, &Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("incomplete after %d rounds", res.Rounds)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+	if res.EstimatedD < 60 || res.EstimatedD > 600 {
+		t.Errorf("estimate %d wildly off for d=150", res.EstimatedD)
+	}
+	if res.EstimatorBytes < 200 || res.EstimatorBytes > 400 { // 336B at |S|=1e6; smaller here
+		t.Errorf("estimator cost %dB; the paper's configuration costs ~336B", res.EstimatorBytes)
+	}
+	if res.PayloadBytes <= 0 || res.WireBytes < res.PayloadBytes {
+		t.Errorf("accounting broken: payload=%d wire=%d", res.PayloadBytes, res.WireBytes)
+	}
+}
+
+func TestReconcileKnownD(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 5000, D: 40, Seed: 3})
+	res, err := Reconcile(p.A, p.B, &Options{Seed: 4, KnownD: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	if res.EstimatorBytes != 0 {
+		t.Error("KnownD must skip the estimator")
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+func TestReconcileNilOptions(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 10, Seed: 5})
+	res, err := Reconcile(p.A, p.B, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+func TestUnion(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 1000, D: 20, BOnlyFrac: 0.5, Seed: 6})
+	res, err := Reconcile(p.A, p.B, &Options{Seed: 7, KnownD: 25})
+	if err != nil || !res.Complete {
+		t.Fatal("reconcile failed")
+	}
+	u := Union(p.A, res)
+	want := map[uint64]struct{}{}
+	for _, x := range p.A {
+		want[x] = struct{}{}
+	}
+	for _, x := range p.B {
+		want[x] = struct{}{}
+	}
+	if len(u) != len(want) {
+		t.Fatalf("|union| = %d, want %d", len(u), len(want))
+	}
+	for _, x := range u {
+		if _, ok := want[x]; !ok {
+			t.Fatalf("union contains stray element %#x", x)
+		}
+	}
+}
+
+func TestSessionDrivenExchange(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 4000, D: 30, Seed: 8})
+	plan, err := PlanFor(30, &Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := NewInitiator(p.A, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := NewResponder(p.B, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rounds := 0; !init.Done() && rounds < 10; rounds++ {
+		msg, err := init.BuildRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg == nil {
+			break
+		}
+		reply, err := resp.HandleRound(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := init.AbsorbReply(reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !init.Done() {
+		t.Fatalf("session not done after %d rounds", init.Rounds())
+	}
+	assertSameSet(t, init.Difference(), p.Diff)
+}
+
+func TestSessionRoleEnforcement(t *testing.T) {
+	plan, _ := PlanFor(5, nil)
+	init, _ := NewInitiator([]uint64{1}, plan)
+	resp, _ := NewResponder([]uint64{2}, plan)
+	if _, err := init.HandleRound(nil); err == nil {
+		t.Error("initiator must not HandleRound")
+	}
+	if _, err := resp.BuildRound(); err == nil {
+		t.Error("responder must not BuildRound")
+	}
+	if err := resp.AbsorbReply(nil); err == nil {
+		t.Error("responder must not AbsorbReply")
+	}
+	if resp.Done() {
+		t.Error("responder is never done on its own")
+	}
+	if resp.Difference() != nil || resp.Rounds() != 0 {
+		t.Error("responder has no difference or rounds")
+	}
+}
+
+func TestLargeSignatures(t *testing.T) {
+	// 48-bit signatures exercise the non-default universe width.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 48, SizeA: 3000, D: 25, Seed: 10})
+	res, err := Reconcile(p.A, p.B, &Options{Seed: 11, SigBits: 48, KnownD: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}

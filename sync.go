@@ -1,0 +1,308 @@
+package pbs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pbs/internal/core"
+	"pbs/internal/estimator"
+	"pbs/internal/msethash"
+)
+
+// This file implements the complete wire protocol over an io.ReadWriter:
+// the Tug-of-War estimation phase (§6.2), deterministic parameter
+// derivation on both sides, the multi-round PBS exchange, and an optional
+// strong final verification using a multiset hash (the §2.2.3 hardening).
+//
+// Message flow (I = initiator, R = responder):
+//
+//	I -> R  msgEstimate      ℓ ToW sketches of I's set
+//	R -> I  msgEstimateReply round(d̂) computed against R's sketches
+//	I -> R  msgRound         scope descriptors + BCH codewords   ┐ repeated
+//	R -> I  msgRoundReply    positions, XOR sums, checksums      ┘ per round
+//	I -> R  msgVerify        (only with StrongVerify)
+//	R -> I  msgVerifyReply   32-byte multiset-hash digest of R's set
+//	I -> R  msgDone          closes the session
+//
+// Frames are length-prefixed with a one-byte type. Every parameter both
+// sides must share (seed, δ, p0, r, signature width) travels out of band in
+// Options, as a deployment would pin them in its protocol version.
+
+const (
+	msgEstimate = iota + 1
+	msgEstimateReply
+	msgRound
+	msgRoundReply
+	msgVerify
+	msgVerifyReply
+	msgDone
+)
+
+// ErrVerificationFailed is returned by SyncInitiator when the strong
+// multiset-hash verification disagrees after the protocol reported
+// completion — the ~2^−|sig| false-checksum event of §2.2.3.
+var ErrVerificationFailed = errors.New("pbs: strong verification failed")
+
+// maxFrame bounds a frame to keep a malicious peer from forcing huge
+// allocations.
+const maxFrame = 64 << 20
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("pbs: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+func expectFrame(r io.Reader, want byte) ([]byte, error) {
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("pbs: expected message type %d, got %d", want, typ)
+	}
+	return payload, nil
+}
+
+// encodeSketches serializes ToW sketch values as zigzag varints.
+func encodeSketches(ys []int64) []byte {
+	buf := make([]byte, 0, len(ys)*3+10)
+	buf = binary.AppendUvarint(buf, uint64(len(ys)))
+	for _, y := range ys {
+		buf = binary.AppendVarint(buf, y)
+	}
+	return buf
+}
+
+func decodeSketches(b []byte) ([]int64, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > 1<<20 {
+		return nil, fmt.Errorf("pbs: bad sketch count")
+	}
+	b = b[k:]
+	ys := make([]int64, n)
+	for i := range ys {
+		v, k := binary.Varint(b)
+		if k <= 0 {
+			return nil, fmt.Errorf("pbs: truncated sketches")
+		}
+		ys[i] = v
+		b = b[k:]
+	}
+	return ys, nil
+}
+
+// syncPlan derives the shared plan from the agreed d̂ — both sides must
+// compute exactly the same Plan, so everything here is deterministic.
+func syncPlan(dhatRounded uint64, opt Options) (Plan, error) {
+	d := estimator.ConservativeD(float64(dhatRounded), opt.Gamma)
+	return core.NewPlan(d, opt.coreConfig())
+}
+
+// SyncInitiator runs the full protocol over conn and learns the set
+// difference. It blocks until the exchange completes or fails. The
+// responder side must run SyncResponder with identical Options.
+func SyncInitiator(set []uint64, conn io.ReadWriter, o *Options) (*Result, error) {
+	opt := o.withDefaults()
+
+	// Phase 1: estimation.
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	if err != nil {
+		return nil, err
+	}
+	ys := tow.Sketch(set)
+	est := encodeSketches(ys)
+	if err := writeFrame(conn, msgEstimate, est); err != nil {
+		return nil, err
+	}
+	reply, err := expectFrame(conn, msgEstimateReply)
+	if err != nil {
+		return nil, err
+	}
+	dhat, k := binary.Uvarint(reply)
+	if k <= 0 {
+		return nil, fmt.Errorf("pbs: bad estimate reply")
+	}
+	estBytes := len(est) + len(reply)
+
+	plan, err := syncPlan(dhat, opt)
+	if err != nil {
+		return nil, err
+	}
+	alice, err := core.NewAlice(set, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: rounds.
+	var st core.Stats
+	maxRounds := plan.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	for round := 0; round < maxRounds && !alice.Done(); round++ {
+		msg, err := alice.BuildRound()
+		if err != nil {
+			return nil, err
+		}
+		if msg == nil {
+			break
+		}
+		if err := writeFrame(conn, msgRound, msg); err != nil {
+			return nil, err
+		}
+		rr, err := expectFrame(conn, msgRoundReply)
+		if err != nil {
+			return nil, err
+		}
+		if err := alice.AbsorbReply(rr); err != nil {
+			return nil, err
+		}
+		st.Rounds++
+		st.AliceWireBits += len(msg) * 8
+		st.BobWireBits += len(rr) * 8
+	}
+
+	res := &Result{
+		Difference: alice.Difference(),
+		Complete:   alice.Done(),
+		Rounds:     st.Rounds,
+		EstimatedD: estimator.ConservativeD(float64(dhat), opt.Gamma),
+		// The initiator only knows its own payload bits exactly; the
+		// peer's contribution is included in WireBytes.
+		PayloadBytes:   (alice.PayloadBits() + 7) / 8,
+		WireBytes:      (st.AliceWireBits+st.BobWireBits)/8 + estBytes,
+		EstimatorBytes: estBytes,
+	}
+
+	// Phase 3: optional strong verification (§2.2.3).
+	if opt.StrongVerify && res.Complete {
+		if err := writeFrame(conn, msgVerify, nil); err != nil {
+			return nil, err
+		}
+		vr, err := expectFrame(conn, msgVerifyReply)
+		if err != nil {
+			return nil, err
+		}
+		theirs, ok := msethash.DigestFromBytes(vr)
+		if !ok {
+			return nil, fmt.Errorf("pbs: malformed verification digest")
+		}
+		h := msethash.New(opt.Seed ^ 0x5EC)
+		h.AddSet(set)
+		in := make(map[uint64]struct{}, len(set))
+		for _, x := range set {
+			in[x] = struct{}{}
+		}
+		for _, x := range res.Difference {
+			if _, present := in[x]; present {
+				h.Remove(x)
+			} else {
+				h.Add(x)
+			}
+		}
+		if h.Sum() != theirs {
+			writeFrame(conn, msgDone, nil)
+			return nil, ErrVerificationFailed
+		}
+	}
+	if err := writeFrame(conn, msgDone, nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SyncResponder serves one full protocol session over conn. It returns nil
+// when the initiator signals completion.
+func SyncResponder(set []uint64, conn io.ReadWriter, o *Options) error {
+	opt := o.withDefaults()
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	if err != nil {
+		return err
+	}
+
+	var bob *core.Bob // created after the estimate fixes the plan
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case msgEstimate:
+			theirs, err := decodeSketches(payload)
+			if err != nil {
+				return err
+			}
+			if len(theirs) != opt.EstimatorSketches {
+				return fmt.Errorf("pbs: peer sent %d sketches, want %d", len(theirs), opt.EstimatorSketches)
+			}
+			mine := tow.Sketch(set)
+			dhatF, err := tow.Estimate(theirs, mine)
+			if err != nil {
+				return err
+			}
+			dhat := uint64(math.Round(dhatF))
+			plan, err := syncPlan(dhat, opt)
+			if err != nil {
+				return err
+			}
+			bob, err = core.NewBob(set, plan)
+			if err != nil {
+				return err
+			}
+			buf := binary.AppendUvarint(nil, dhat)
+			if err := writeFrame(conn, msgEstimateReply, buf); err != nil {
+				return err
+			}
+		case msgRound:
+			if bob == nil {
+				return fmt.Errorf("pbs: round before estimation")
+			}
+			reply, err := bob.HandleRound(payload)
+			if err != nil {
+				return err
+			}
+			if err := writeFrame(conn, msgRoundReply, reply); err != nil {
+				return err
+			}
+		case msgVerify:
+			h := msethash.New(opt.Seed ^ 0x5EC)
+			h.AddSet(set)
+			d := h.Sum()
+			if err := writeFrame(conn, msgVerifyReply, d.Bytes()); err != nil {
+				return err
+			}
+		case msgDone:
+			return nil
+		default:
+			return fmt.Errorf("pbs: unexpected message type %d", typ)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package pbs
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"net"
+	"testing"
+
+	"pbs/internal/core"
+	"pbs/internal/estimator"
+	"pbs/internal/workload"
+)
+
+// runSync drives a full wire session over net.Pipe and returns the
+// initiator's result plus the responder's error.
+func runSync(t *testing.T, a, b []uint64, opt *Options) (*Result, error, error) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	respErr := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		respErr <- SyncResponder(b, cb, opt)
+	}()
+	res, initErr := SyncInitiator(a, ca, opt)
+	ca.Close()
+	return res, initErr, <-respErr
+}
+
+func TestSyncFullProtocol(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 10000, D: 80, Seed: 1})
+	res, initErr, respErr := runSync(t, p.A, p.B, &Options{Seed: 2})
+	if initErr != nil || respErr != nil {
+		t.Fatalf("init=%v resp=%v", initErr, respErr)
+	}
+	if !res.Complete {
+		t.Fatalf("incomplete after %d rounds", res.Rounds)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+	if res.EstimatorBytes <= 0 {
+		t.Error("estimation phase bytes not accounted")
+	}
+	if res.EstimatedD < 30 || res.EstimatedD > 300 {
+		t.Errorf("EstimatedD = %d for d=80", res.EstimatedD)
+	}
+}
+
+func TestSyncStrongVerify(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 5000, D: 30, Seed: 3})
+	res, initErr, respErr := runSync(t, p.A, p.B, &Options{Seed: 4, StrongVerify: true})
+	if initErr != nil || respErr != nil {
+		t.Fatalf("init=%v resp=%v", initErr, respErr)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+func TestSyncIdenticalSets(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 0, Seed: 5})
+	res, initErr, respErr := runSync(t, p.A, p.A, &Options{Seed: 6, StrongVerify: true})
+	if initErr != nil || respErr != nil {
+		t.Fatalf("init=%v resp=%v", initErr, respErr)
+	}
+	if !res.Complete || len(res.Difference) != 0 {
+		t.Fatal("identical sets should reconcile to empty difference")
+	}
+}
+
+func TestSyncBidirectionalDifference(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{
+		UniverseBits: 32, SizeA: 5000, D: 50, BOnlyFrac: 0.4, Seed: 7,
+	})
+	res, initErr, respErr := runSync(t, p.A, p.B, &Options{Seed: 8})
+	if initErr != nil || respErr != nil {
+		t.Fatalf("init=%v resp=%v", initErr, respErr)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+func TestSyncSeedMismatchDetected(t *testing.T) {
+	// Different seeds mean different hash functions: the protocol cannot
+	// silently produce a wrong difference — checksums keep failing and the
+	// round budget runs out (Complete=false), or strong verify trips.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 10, Seed: 9})
+	ca, cb := net.Pipe()
+	respDone := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		respDone <- SyncResponder(p.B, cb, &Options{Seed: 111, MaxRounds: 3})
+	}()
+	res, err := SyncInitiator(p.A, ca, &Options{Seed: 222, MaxRounds: 3})
+	ca.Close()
+	<-respDone
+	if err == nil && res.Complete {
+		// Completing correctly with mismatched seeds is impossible unless
+		// the difference was trivially empty.
+		if len(res.Difference) != 0 || len(p.Diff) != 0 {
+			t.Fatal("mismatched seeds must not yield a 'complete' wrong answer")
+		}
+	}
+}
+
+func TestSyncStrongVerifyCatchesCorruption(t *testing.T) {
+	// Simulate the false-verification corner: the responder claims a
+	// different set at verification time. Run a responder whose verify
+	// digest is computed over a mutated set by giving the responder a set
+	// that differs only after reconciliation would pass... simplest
+	// faithful check: mismatched StrongVerify seeds make digests disagree,
+	// which must surface as ErrVerificationFailed rather than success.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 5, Seed: 10})
+	ca, cb := net.Pipe()
+	go func() {
+		defer cb.Close()
+		// Responder with a tampered verification digest: emulate by
+		// serving a set with one extra element only for the verify phase.
+		// Easiest faithful emulation: run the normal responder on a set
+		// with one extra element and a plan seeded identically; the
+		// protocol rounds will fix the difference (it is a real difference)
+		// so instead we tamper the seed only for msethash by flipping
+		// StrongVerify seed via Options.Seed — not possible per-phase, so
+		// this test uses a raw responder on a *different* set: rounds will
+		// reconcile to that set, and verification then passes. The real
+		// corruption case is exercised in unit form in msethash tests; here
+		// we only pin that a digest mismatch propagates as
+		// ErrVerificationFailed using a hacked responder below.
+		hackedResponder(p.B, cb)
+	}()
+	_, err := SyncInitiator(p.A, ca, &Options{Seed: 11, StrongVerify: true})
+	ca.Close()
+	if !errors.Is(err, ErrVerificationFailed) {
+		t.Fatalf("want ErrVerificationFailed, got %v", err)
+	}
+}
+
+// hackedResponder behaves like SyncResponder but returns a corrupted
+// verification digest, emulating the false-verification corner case.
+func hackedResponder(set []uint64, conn net.Conn) {
+	opt := (&Options{Seed: 11}).withDefaults()
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	if err != nil {
+		return
+	}
+	var bob *core.Bob
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case msgEstimate:
+			theirs, err := decodeSketches(payload)
+			if err != nil {
+				return
+			}
+			dhatF, err := tow.Estimate(theirs, tow.Sketch(set))
+			if err != nil {
+				return
+			}
+			dhat := uint64(math.Round(dhatF))
+			plan, err := syncPlan(dhat, opt)
+			if err != nil {
+				return
+			}
+			if bob, err = core.NewBob(set, plan); err != nil {
+				return
+			}
+			writeFrame(conn, msgEstimateReply, binary.AppendUvarint(nil, dhat))
+		case msgRound:
+			reply, err := bob.HandleRound(payload)
+			if err != nil {
+				return
+			}
+			writeFrame(conn, msgRoundReply, reply)
+		case msgVerify:
+			corrupt := make([]byte, 32)
+			for i := range corrupt {
+				corrupt[i] = byte(i + 1)
+			}
+			writeFrame(conn, msgVerifyReply, corrupt)
+		case msgDone:
+			return
+		}
+	}
+}
