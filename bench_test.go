@@ -13,6 +13,7 @@ import (
 
 	"pbs/internal/exper"
 	"pbs/internal/markov"
+	"pbs/internal/workload"
 )
 
 // benchSizeA keeps bench instances fast while preserving the |B| >> d
@@ -244,6 +245,64 @@ func BenchmarkAblationSplitWays(b *testing.B) {
 			}
 			b.ReportMetric(p, "overloadProb")
 		})
+	}
+}
+
+// BenchmarkParallelism compares the sequential reference path
+// (Parallelism: 1) against the worker-pool decode engine (Parallelism: 0 =
+// GOMAXPROCS) on full reconciliation sessions. PBS group pairs decode
+// independently (piecewise reconciliability), so per-group BCH work scales
+// across cores; on a multi-core machine the par/seq ratio at d = 10000
+// should approach the core count.
+func BenchmarkParallelism(b *testing.B) {
+	for _, d := range []int{100, 1000, 10000} {
+		p := workload.MustGenerate(workload.Config{
+			UniverseBits: 32, SizeA: benchSizeA, D: d, Seed: int64(d)*13 + 5,
+		})
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(fmt.Sprintf("%s/d=%d", mode.name, d), func(b *testing.B) {
+				plan, err := PlanFor(d, &Options{Seed: 9, Parallelism: mode.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var rounds float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					init, err := NewInitiator(p.A, plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					resp, err := NewResponder(p.B, plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for !init.Done() {
+						msg, err := init.BuildRound()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if msg == nil {
+							break
+						}
+						reply, err := resp.HandleRound(msg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := init.AbsorbReply(reply); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if !init.Done() || len(init.Difference()) != len(p.Diff) {
+						b.Fatal("reconciliation failed")
+					}
+					rounds += float64(init.Rounds())
+				}
+				b.ReportMetric(rounds/float64(b.N), "rounds")
+			})
+		}
 	}
 }
 

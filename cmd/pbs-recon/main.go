@@ -20,9 +20,10 @@ import (
 
 func main() {
 	var (
-		aPath = flag.String("a", "", "file with Alice's element IDs (one per line)")
-		bPath = flag.String("b", "", "file with Bob's element IDs (one per line)")
-		seed  = flag.Uint64("seed", 42, "shared hash seed")
+		aPath   = flag.String("a", "", "file with Alice's element IDs (one per line)")
+		bPath   = flag.String("b", "", "file with Bob's element IDs (one per line)")
+		seed    = flag.Uint64("seed", 42, "shared hash seed")
+		workers = flag.Int("parallelism", 0, "per-group decode workers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *aPath == "" || *bPath == "" {
@@ -37,7 +38,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := pbs.Reconcile(a, b, &pbs.Options{Seed: *seed})
+	res, err := pbs.Reconcile(a, b, &pbs.Options{Seed: *seed, Parallelism: *workers})
 	if err != nil {
 		fatal(err)
 	}

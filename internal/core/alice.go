@@ -33,11 +33,13 @@ type Alice struct {
 }
 
 // EncodeTime returns the cumulative time Alice spent encoding (hash
-// partitioning, parity bitmaps, BCH codewords).
+// partitioning, parity bitmaps, BCH codewords). Parallel-phase work is
+// summed across workers, so under Parallelism > 1 this tracks CPU time,
+// not wall time — the same convention as Bob.
 func (a *Alice) EncodeTime() time.Duration { return a.encodeTime }
 
 // DecodeTime returns the cumulative time Alice spent recovering distinct
-// elements and verifying checksums.
+// elements and verifying checksums, summed across workers like EncodeTime.
 func (a *Alice) DecodeTime() time.Duration { return a.decodeTime }
 
 // aliceScope is Alice's per-scope state: the working set W (initially her
@@ -123,7 +125,9 @@ func (a *Alice) Difference() []uint64 {
 
 // BuildRound builds the next round message for Bob: one scope descriptor
 // plus BCH codeword per active scope. It returns nil when reconciliation
-// has completed.
+// has completed. Per-scope encoding (bin folding and sketch construction)
+// fans out across the plan's worker pool; serialization stays in scope
+// order, so the message bytes do not depend on Parallelism.
 func (a *Alice) BuildRound() ([]byte, error) {
 	if a.awaiting {
 		return nil, fmt.Errorf("core: BuildRound called with a reply outstanding")
@@ -131,30 +135,62 @@ func (a *Alice) BuildRound() ([]byte, error) {
 	if len(a.active) == 0 {
 		return nil, nil
 	}
-	start := time.Now()
-	defer func() { a.encodeTime += time.Since(start) }()
 	a.round++
 	n := a.plan.N()
-	w := wire.NewWriter()
-	w.WriteUvarint(uint64(a.round))
-	w.WriteUvarint(uint64(len(a.active)))
-	for _, sc := range a.active {
-		writeScopeID(w, sc.id)
+	nw := a.plan.workers()
+	durs := make([]time.Duration, nw)
+	sketches := make([]*bch.Sketch, len(a.active))
+	forEachScope(nw, len(a.active), func(worker, i int) {
+		t0 := time.Now()
+		sc := a.active[i]
 		sc.binSeed = a.sd.binSeed(sc.id, a.round)
 		sums, parity := binFold(sc.w, sc.binSeed, n)
 		sc.binSums = sums
 		sketch := bch.MustNew(a.plan.M, a.plan.T)
-		for i := uint64(1); i <= n; i++ {
-			if parity[i] {
-				sketch.Add(i)
+		for j := uint64(1); j <= n; j++ {
+			if parity[j] {
+				sketch.Add(j)
 			}
 		}
-		sketch.AppendTo(w)
-		a.payloadBits += sketch.Bits()
+		sketches[i] = sketch
+		durs[worker] += time.Since(t0)
+	})
+	for _, d := range durs {
+		a.encodeTime += d
+	}
+	serStart := time.Now()
+	w := wire.NewWriter()
+	w.WriteUvarint(uint64(a.round))
+	w.WriteUvarint(uint64(len(a.active)))
+	for i, sc := range a.active {
+		writeScopeID(w, sc.id)
+		sketches[i].AppendTo(w)
+		a.payloadBits += sketches[i].Bits()
 		a.sketchesSent++
 	}
 	a.awaiting = true
+	a.encodeTime += time.Since(serStart)
 	return w.Bytes(), nil
+}
+
+// aliceParsedScope is one scope's slice of Bob's reply, parsed off the
+// sequential bit stream before the parallel processing phase.
+type aliceParsedScope struct {
+	ok        bool // BCH decoding succeeded on Bob's side
+	positions []uint64
+	sums      []uint64
+	bobCk     uint64
+}
+
+// aliceScopeOutcome is the result of processing one scope's reply slice:
+// the accepted recovered elements (not yet applied — the sequential merge
+// phase toggles them into the working set and the global difference
+// together), the checksum verdict, and — for BCH decoding failures — the
+// 3-way split children.
+type aliceScopeOutcome struct {
+	accepted []uint64
+	verified bool
+	splits   []*aliceScope
 }
 
 // AbsorbReply processes Bob's reply to the message built by the last
@@ -162,23 +198,29 @@ func (a *Alice) BuildRound() ([]byte, error) {
 // discards fake distinct elements (Procedure 3), toggles the recovered
 // elements into the working sets and the global difference, verifies
 // checksums, and queues 3-way splits for scopes whose BCH decoding failed.
+//
+// The reply is parsed sequentially (the bit stream has no random access),
+// the per-scope recovery and verification fan out read-only across the
+// worker pool, and all state mutation — working sets, checksums, the
+// global difference, the next-round scope list — happens in a sequential
+// merge in scope order, keeping the session deterministic for any
+// Parallelism and untouched when a malformed reply aborts the round.
 func (a *Alice) AbsorbReply(reply []byte) error {
 	if !a.awaiting {
 		return fmt.Errorf("core: AbsorbReply without an outstanding round")
 	}
 	a.awaiting = false
-	start := time.Now()
-	defer func() { a.decodeTime += time.Since(start) }()
+	parseStart := time.Now()
 	r := wire.NewReader(reply)
-	var next []*aliceScope
-	for _, sc := range a.active {
+	parsed := make([]aliceParsedScope, len(a.active))
+	for i := range a.active {
+		p := &parsed[i]
 		ok, err := r.ReadBool()
 		if err != nil {
 			return fmt.Errorf("core: truncated reply: %w", err)
 		}
+		p.ok = ok
 		if !ok {
-			// BCH decoding failure (§3.2): split three ways for next round.
-			next = append(next, a.splitScope(sc)...)
 			continue
 		}
 		count, err := r.ReadUvarint()
@@ -188,44 +230,88 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 		if count > a.plan.N() {
 			return fmt.Errorf("core: reply position count %d exceeds bitmap size", count)
 		}
-		positions := make([]uint64, count)
-		for i := range positions {
-			if positions[i], err = r.ReadBits(a.plan.M); err != nil {
+		p.positions = make([]uint64, count)
+		for j := range p.positions {
+			if p.positions[j], err = r.ReadBits(a.plan.M); err != nil {
 				return fmt.Errorf("core: truncated reply: %w", err)
 			}
 		}
-		sums := make([]uint64, count)
-		for i := range sums {
-			if sums[i], err = r.ReadBits(a.plan.SigBits); err != nil {
+		p.sums = make([]uint64, count)
+		for j := range p.sums {
+			if p.sums[j], err = r.ReadBits(a.plan.SigBits); err != nil {
 				return fmt.Errorf("core: truncated reply: %w", err)
 			}
 		}
-		bobCk, err := r.ReadBits(a.plan.SigBits)
-		if err != nil {
+		if p.bobCk, err = r.ReadBits(a.plan.SigBits); err != nil {
 			return fmt.Errorf("core: truncated reply: %w", err)
 		}
-		sc.bobChecksum = bobCk
-		sc.haveBobChecksum = true
+	}
 
-		for i, pos := range positions {
+	a.decodeTime += time.Since(parseStart)
+
+	// The parallel phase is strictly read-only on session state: workers
+	// compute accepted elements, the would-be checksum, and split children
+	// without mutating anything, so an error below leaves the session
+	// exactly as it was (no half-applied round).
+	outcomes := make([]aliceScopeOutcome, len(a.active))
+	errs := newScopeErrors(len(a.active))
+	nw := a.plan.workers()
+	durs := make([]time.Duration, nw)
+	forEachScope(nw, len(a.active), func(worker, i int) {
+		t0 := time.Now()
+		defer func() { durs[worker] += time.Since(t0) }()
+		sc := a.active[i]
+		p := &parsed[i]
+		out := &outcomes[i]
+		if !p.ok {
+			// BCH decoding failure (§3.2): split three ways for next round.
+			out.splits = a.splitScope(sc)
+			return
+		}
+		ck := sc.checksum
+		for j, pos := range p.positions {
 			if pos == 0 || pos > a.plan.N() {
-				return fmt.Errorf("core: reply position %d out of range", pos)
+				errs.set(i, fmt.Errorf("core: reply position %d out of range", pos))
+				return
 			}
-			s := sc.binSums[pos] ^ sums[i]
+			s := sc.binSums[pos] ^ p.sums[j]
 			if !a.acceptRecovered(sc, s, pos) {
 				continue
 			}
-			a.toggle(sc, s)
+			_, in := sc.w[s]
+			ck = a.checksumToggle(ck, s, in)
+			out.accepted = append(out.accepted, s)
 		}
-		if sc.checksum == sc.bobChecksum {
-			// Verified: this scope's subset pair is reconciled (§2.2.3).
-			sc.binSums = nil
+		// Verified scopes are reconciled subset pairs (§2.2.3).
+		out.verified = ck == p.bobCk
+	})
+	for _, d := range durs {
+		a.decodeTime += d
+	}
+	if err := errs.first(); err != nil {
+		return err
+	}
+
+	mergeStart := time.Now()
+	var next []*aliceScope
+	for i, sc := range a.active {
+		out := &outcomes[i]
+		if out.splits != nil {
+			next = append(next, out.splits...)
 			continue
 		}
+		sc.bobChecksum = parsed[i].bobCk
+		sc.haveBobChecksum = true
+		for _, s := range out.accepted {
+			a.toggle(sc, s)
+		}
 		sc.binSums = nil
-		next = append(next, sc)
+		if !out.verified {
+			next = append(next, sc)
+		}
 	}
 	a.active = next
+	a.decodeTime += time.Since(mergeStart)
 	return nil
 }
 
@@ -253,15 +339,27 @@ func (a *Alice) acceptRecovered(sc *aliceScope, s uint64, pos uint64) bool {
 	return true
 }
 
+// checksumToggle returns the plain-sum checksum after toggling element s,
+// where present reports whether s is currently in the set. The parallel
+// phase uses it to predict the post-merge checksum; toggle applies it.
+func (a *Alice) checksumToggle(ck, s uint64, present bool) uint64 {
+	if present {
+		return (ck - s) & a.sigMask
+	}
+	return (ck + s) & a.sigMask
+}
+
 // toggle applies s to the scope's working set (W ← W △ {s}), its checksum,
-// and the global learned difference.
+// and the global learned difference. It runs only in the sequential merge
+// phase so the working sets and the difference can never diverge, even
+// when a malformed reply aborts a round.
 func (a *Alice) toggle(sc *aliceScope, s uint64) {
-	if _, in := sc.w[s]; in {
+	_, in := sc.w[s]
+	sc.checksum = a.checksumToggle(sc.checksum, s, in)
+	if in {
 		delete(sc.w, s)
-		sc.checksum = (sc.checksum - s) & a.sigMask
 	} else {
 		sc.w[s] = struct{}{}
-		sc.checksum = (sc.checksum + s) & a.sigMask
 	}
 	if _, in := a.diff[s]; in {
 		delete(a.diff, s)

@@ -117,7 +117,40 @@ func (b *Bob) checksum(id scopeID, set []uint64) uint64 {
 	return c
 }
 
+// bobScopeJob is one scope's decoded request: everything the parallel
+// phase needs, resolved off the sequential bit stream (and the lazily
+// partitioned scope-set cache) up front.
+type bobScopeJob struct {
+	id    scopeID
+	alice *bch.Sketch
+	set   []uint64
+	seed  uint64
+}
+
+// bobScopeReply is one scope's computed answer, held until the sequential
+// serialization phase writes it in scope order.
+type bobScopeReply struct {
+	ok        bool     // BCH decoding succeeded
+	positions []uint64 // differing bitmap positions
+	xors      []uint64 // Bob's per-bin XOR sums at those positions
+}
+
+// bobScratch is per-worker round state: the bin-fold buffers (cleared per
+// scope instead of reallocated, which matters at large g) and the worker's
+// accumulated encode/decode time, folded into the Bob totals after the
+// parallel phase joins.
+type bobScratch struct {
+	sums   []uint64
+	parity []bool
+	enc    time.Duration
+	dec    time.Duration
+}
+
 // HandleRound processes one round message from Alice and returns the reply.
+// Scope requests are parsed sequentially, the per-scope bin folding, BCH
+// sketching, and decoding fan out across the plan's worker pool, and the
+// reply is serialized in scope order — so the reply bytes are identical
+// for every Parallelism setting.
 func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 	r := wire.NewReader(msg)
 	round, err := r.ReadUvarint()
@@ -135,11 +168,10 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("core: implausible scope count %d", nScopes)
 	}
 	n := b.plan.N()
-	out := wire.NewWriter()
-	// Scratch buffers shared across scopes within the round; cleared per
-	// scope (memclr) instead of reallocated, which matters at large g.
-	sums := make([]uint64, n+1)
-	parity := make([]bool, n+1)
+	// Grow jobs as scopes parse successfully rather than pre-allocating by
+	// the peer-claimed count: a tiny frame claiming the plausibility cap
+	// must not force a multi-megabyte allocation before validation.
+	jobs := make([]bobScopeJob, 0, min(nScopes, uint64(b.plan.Groups)))
 	for s := uint64(0); s < nScopes; s++ {
 		id, err := readScopeID(r)
 		if err != nil {
@@ -152,46 +184,87 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: bad sketch: %w", err)
 		}
-		encStart := time.Now()
-		set := b.scopeSet(id)
-		seed := b.sd.binSeed(id, int(round))
-		sketch := bch.MustNew(b.plan.M, b.plan.T)
-		clear(sums)
-		clear(parity)
-		for _, x := range set {
-			bin := hashutil.Bin(x, seed, n)
-			sums[bin] ^= x
-			parity[bin] = !parity[bin]
+		// scopeSet mutates the split cache, so it must stay in this
+		// sequential pass; the parallel phase then only reads the slices.
+		jobs = append(jobs, bobScopeJob{
+			id:    id,
+			alice: aliceSketch,
+			set:   b.scopeSet(id),
+			seed:  b.sd.binSeed(id, int(round)),
+		})
+	}
+
+	workers := b.plan.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	scratches := make([]bobScratch, workers)
+	replies := make([]bobScopeReply, len(jobs))
+	forEachScope(workers, len(jobs), func(worker, i int) {
+		sc := &scratches[worker]
+		if sc.sums == nil {
+			sc.sums = make([]uint64, n+1)
+			sc.parity = make([]bool, n+1)
+		} else {
+			clear(sc.sums)
+			clear(sc.parity)
 		}
-		for i := uint64(1); i <= n; i++ {
-			if parity[i] {
-				sketch.Add(i)
+		job := &jobs[i]
+		encStart := time.Now()
+		sketch := bch.MustNew(b.plan.M, b.plan.T)
+		for _, x := range job.set {
+			bin := hashutil.Bin(x, job.seed, n)
+			sc.sums[bin] ^= x
+			sc.parity[bin] = !sc.parity[bin]
+		}
+		for j := uint64(1); j <= n; j++ {
+			if sc.parity[j] {
+				sketch.Add(j)
 			}
 		}
-		if err := sketch.Xor(aliceSketch); err != nil {
-			return nil, err
-		}
-		b.encodeTime += time.Since(encStart)
+		// The shapes match by construction (same plan), so Xor cannot fail.
+		sketch.Xor(job.alice)
+		sc.enc += time.Since(encStart)
 		decStart := time.Now()
 		positions, derr := sketch.Decode()
-		b.decodeTime += time.Since(decStart)
+		sc.dec += time.Since(decStart)
 		if derr != nil {
 			// BCH decoding failure (§3.2): report it; Alice will split.
+			return
+		}
+		xors := make([]uint64, len(positions))
+		for j, p := range positions {
+			xors[j] = sc.sums[p]
+		}
+		replies[i] = bobScopeReply{ok: true, positions: positions, xors: xors}
+	})
+	for i := range scratches {
+		b.encodeTime += scratches[i].enc
+		b.decodeTime += scratches[i].dec
+	}
+
+	out := wire.NewWriter()
+	for i := range jobs {
+		rep := &replies[i]
+		if !rep.ok {
 			out.WriteBool(false)
 			continue
 		}
 		out.WriteBool(true)
-		out.WriteUvarint(uint64(len(positions)))
-		for _, p := range positions {
+		out.WriteUvarint(uint64(len(rep.positions)))
+		for _, p := range rep.positions {
 			out.WriteBits(p, b.plan.M)
 		}
-		for _, p := range positions {
-			out.WriteBits(sums[p], b.plan.SigBits)
+		for _, x := range rep.xors {
+			out.WriteBits(x, b.plan.SigBits)
 		}
-		out.WriteBits(b.checksum(id, set), b.plan.SigBits)
-		b.payloadBits += len(positions)*int(b.plan.M) +
-			len(positions)*int(b.plan.SigBits) + int(b.plan.SigBits)
-		b.positionsSent += len(positions)
+		out.WriteBits(b.checksum(jobs[i].id, jobs[i].set), b.plan.SigBits)
+		b.payloadBits += len(rep.positions)*int(b.plan.M) +
+			len(rep.positions)*int(b.plan.SigBits) + int(b.plan.SigBits)
+		b.positionsSent += len(rep.positions)
 		b.checksumsSent++
 	}
 	return out.Bytes(), nil

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PBS is "piecewise reconciliable": the n group pairs carry independent BCH
+// sketches and decode with no cross-group dependency (§3 of the paper).
+// This file exploits that property: per-scope encoding and decoding fan out
+// over a bounded worker pool, while all wire serialization stays sequential
+// in scope order so parallel and sequential runs produce byte-identical
+// messages.
+
+// forEachScope runs fn(worker, i) for every i in [0, n), fanning the
+// indices out across at most workers goroutines. The worker argument is a
+// dense goroutine index in [0, workers), letting callers keep per-worker
+// scratch buffers without synchronization. workers <= 1 (or n <= 1) runs
+// everything inline on the calling goroutine — the reference sequential
+// path that parallel runs must match byte for byte.
+//
+// fn must not touch shared state: each scope index must own its inputs and
+// outputs (typically slots of a pre-sized slice).
+func forEachScope(workers, n int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// scopeErrors collects at most one error per scope index so the lowest
+// indexed failure can be reported deterministically regardless of goroutine
+// scheduling.
+type scopeErrors struct {
+	errs []error
+}
+
+func newScopeErrors(n int) *scopeErrors { return &scopeErrors{errs: make([]error, n)} }
+
+// set records err for scope i. Each index is owned by exactly one worker,
+// so no locking is needed.
+func (e *scopeErrors) set(i int, err error) { e.errs[i] = err }
+
+// first returns the error of the lowest failed scope, or nil.
+func (e *scopeErrors) first() error {
+	for _, err := range e.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workers resolves the plan's Parallelism knob: values > 0 are taken
+// literally (1 = the sequential reference path), 0 or negative selects
+// GOMAXPROCS.
+func (p Plan) workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}

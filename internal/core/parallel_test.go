@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"pbs/internal/workload"
+)
+
+// traceSession runs a full reconciliation under plan and records every
+// message in both directions.
+func traceSession(t *testing.T, a, b []uint64, plan Plan) (msgs, replies [][]byte, diff []uint64) {
+	t.Helper()
+	alice, err := NewAlice(a, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewBob(b, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < safetyRoundCap && !alice.Done(); round++ {
+		msg, err := alice.BuildRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg == nil {
+			break
+		}
+		reply, err := bob.HandleRound(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.AbsorbReply(reply); err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, msg)
+		replies = append(replies, reply)
+	}
+	if !alice.Done() {
+		t.Fatal("session did not complete")
+	}
+	return msgs, replies, alice.Difference()
+}
+
+// TestParallelWireDeterminism pins the engine's core guarantee: for the
+// same sets and seed, every wire message is byte-identical whether the
+// per-scope work runs sequentially or across a worker pool.
+func TestParallelWireDeterminism(t *testing.T) {
+	for _, d := range []int{5, 60, 400} {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 8000, D: d, Seed: int64(d)*3 + 1})
+		seqPlan := planFor(t, d, uint64(d)+11)
+		seqPlan.Parallelism = 1
+		seqMsgs, seqReplies, seqDiff := traceSession(t, p.A, p.B, seqPlan)
+
+		for _, workers := range []int{0, 2, 8} {
+			parPlan := seqPlan
+			parPlan.Parallelism = workers
+			parMsgs, parReplies, parDiff := traceSession(t, p.A, p.B, parPlan)
+			if len(parMsgs) != len(seqMsgs) {
+				t.Fatalf("d=%d workers=%d: %d rounds vs %d sequential", d, workers, len(parMsgs), len(seqMsgs))
+			}
+			for r := range seqMsgs {
+				if !bytes.Equal(seqMsgs[r], parMsgs[r]) {
+					t.Errorf("d=%d workers=%d round %d: Alice message differs from sequential", d, workers, r+1)
+				}
+				if !bytes.Equal(seqReplies[r], parReplies[r]) {
+					t.Errorf("d=%d workers=%d round %d: Bob reply differs from sequential", d, workers, r+1)
+				}
+			}
+			assertSameSet(t, parDiff, seqDiff)
+			assertSameSet(t, parDiff, p.Diff)
+		}
+	}
+}
+
+// TestParallelUnderestimatedCapacity drives the split machinery (BCH
+// decoding failures → 3-way splits) under parallel decoding: a plan sized
+// for a fraction of the true difference must still converge identically.
+func TestParallelUnderestimatedCapacity(t *testing.T) {
+	const d = 300
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 10000, D: d, Seed: 71})
+	plan := planFor(t, d/10, 23) // capacity planned for a tenth of the truth
+	plan.Parallelism = 1
+	_, _, seqDiff := traceSession(t, p.A, p.B, plan)
+	plan.Parallelism = runtime.GOMAXPROCS(0) + 3
+	_, _, parDiff := traceSession(t, p.A, p.B, plan)
+	assertSameSet(t, seqDiff, p.Diff)
+	assertSameSet(t, parDiff, p.Diff)
+}
+
+// TestParallelStatsMatchSequential checks that the communication
+// accounting (the paper's reported quantity) is independent of the worker
+// count.
+func TestParallelStatsMatchSequential(t *testing.T) {
+	const d = 200
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 20000, D: d, Seed: 5})
+	plan := planFor(t, d, 13)
+	plan.Parallelism = 1
+	seq, err := Reconcile(p.A, p.B, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Parallelism = 4
+	par, err := Reconcile(p.A, p.B, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Complete || !par.Complete {
+		t.Fatal("incomplete")
+	}
+	if seq.Stats.TotalWireBytes() != par.Stats.TotalWireBytes() ||
+		seq.Stats.TotalPayloadBytes() != par.Stats.TotalPayloadBytes() ||
+		seq.Stats.Rounds != par.Stats.Rounds {
+		t.Errorf("stats diverge: seq=%+v par=%+v", seq.Stats, par.Stats)
+	}
+}
+
+// TestForEachScope exercises the pool helper directly: full coverage of
+// the index space, dense worker ids, and the inline path.
+func TestForEachScope(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hits := make([]int32, n)
+			forEachScope(workers, n, func(worker, i int) {
+				if worker < 0 || worker >= workers {
+					t.Errorf("worker id %d out of range [0,%d)", worker, workers)
+				}
+				hits[i]++
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

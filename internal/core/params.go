@@ -51,6 +51,11 @@ type Config struct {
 	Seed uint64
 	// MaxRounds caps protocol rounds; 0 means "run until reconciled".
 	MaxRounds int
+	// Parallelism is the worker count for per-group encoding and decoding.
+	// 0 selects GOMAXPROCS; 1 forces the sequential reference path. It is a
+	// local execution knob: both endpoints may use different values and the
+	// wire bytes are unaffected.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +85,11 @@ type Plan struct {
 	MaxRounds int    // 0 = unlimited
 	SigBits   uint   // log|U|
 	Seed      uint64 // master hash seed
+
+	// Parallelism is the per-group worker count (0 = GOMAXPROCS, 1 =
+	// sequential). Unlike every other field it is not part of the wire
+	// contract: endpoints may disagree on it freely.
+	Parallelism int
 }
 
 // N returns the parity bitmap length 2^M − 1.
@@ -113,13 +123,20 @@ func NewPlan(d int, cfg Config) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	return Plan{
-		M:         params.M,
-		T:         params.T,
-		Groups:    markov.NumGroups(d, cfg.Delta),
-		Delta:     cfg.Delta,
-		MaxRounds: cfg.MaxRounds,
-		SigBits:   cfg.SigBits,
-		Seed:      cfg.Seed,
-	}, nil
+	plan := Plan{
+		M:           params.M,
+		T:           params.T,
+		Groups:      markov.NumGroups(d, cfg.Delta),
+		Delta:       cfg.Delta,
+		MaxRounds:   cfg.MaxRounds,
+		SigBits:     cfg.SigBits,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+	}
+	// Reject invalid configurations (e.g. out-of-range SigBits) at plan
+	// derivation time rather than at endpoint construction.
+	if err := plan.validate(); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
 }

@@ -151,6 +151,10 @@ func runPBS(inst *Instance, cfg RunConfig) (Measurement, error) {
 		SigBits:       cfg.SigBits,
 		Seed:          inst.Seed*2654435761 + 1,
 		MaxRounds:     cfg.MaxRounds,
+		// The paper's computation measurements are sequential CPU costs
+		// compared against sequential baselines, so the experiments pin
+		// the reference path rather than inherit the GOMAXPROCS default.
+		Parallelism: 1,
 	})
 	if err != nil {
 		return Measurement{}, err

@@ -60,6 +60,13 @@ type Options struct {
 	// pushes the false-verification probability to practically zero at the
 	// cost of 32 extra bytes and one extra message.
 	StrongVerify bool
+	// Parallelism is the worker count for per-group encoding and decoding.
+	// PBS group pairs are piecewise reconciliable — each decodes
+	// independently — so the hot path fans out across this many goroutines.
+	// 0 (the default) selects GOMAXPROCS; 1 forces the sequential reference
+	// path. It is a purely local execution knob: the two endpoints may use
+	// different values, and the wire bytes are identical for every setting.
+	Parallelism int
 }
 
 func (o *Options) withDefaults() Options {
@@ -84,6 +91,7 @@ func (o Options) coreConfig() core.Config {
 		SigBits:       o.SigBits,
 		Seed:          o.Seed,
 		MaxRounds:     o.MaxRounds,
+		Parallelism:   o.Parallelism,
 	}
 }
 

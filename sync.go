@@ -30,6 +30,9 @@ import (
 // Frames are length-prefixed with a one-byte type. Every parameter both
 // sides must share (seed, δ, p0, r, signature width) travels out of band in
 // Options, as a deployment would pin them in its protocol version.
+// Options.Parallelism is the exception: it only sizes the local worker pool
+// for per-group decoding, produces byte-identical frames for any value, and
+// so may differ freely between the two endpoints.
 
 const (
 	msgEstimate = iota + 1

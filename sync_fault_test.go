@@ -1,0 +1,280 @@
+package pbs
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"pbs/internal/estimator"
+	"pbs/internal/workload"
+)
+
+// Fault-injection coverage for the wire protocol: every malformed input —
+// truncated frames, corrupted payloads, oversized frames, unexpected
+// message types — must surface as an error on the affected endpoint, never
+// a hang or a panic. net.Pipe gives fully synchronous delivery, so a test
+// that passes here cannot be masked by kernel buffering.
+
+// faultTimeout bounds every fault test; a blocked endpoint is a failure,
+// not a slow test.
+const faultTimeout = 10 * time.Second
+
+// withDeadline runs fn and fails the test if it does not return in time.
+func withDeadline(t *testing.T, name string, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(faultTimeout):
+		t.Fatalf("%s: endpoint hung on malformed input", name)
+		return nil
+	}
+}
+
+func TestSyncResponderTruncatedHeader(t *testing.T) {
+	ca, cb := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SyncResponder([]uint64{1, 2, 3}, cb, nil) }()
+	// Three bytes of a five-byte frame header, then EOF.
+	if _, err := ca.Write([]byte{0x00, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	ca.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("responder accepted a truncated frame header")
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on truncated header")
+	}
+}
+
+func TestSyncResponderTruncatedPayload(t *testing.T) {
+	ca, cb := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SyncResponder([]uint64{1, 2, 3}, cb, nil) }()
+	// A header declaring 100 payload bytes, followed by only 4.
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], 100)
+	hdr[4] = msgEstimate
+	ca.Write(hdr[:])
+	ca.Write([]byte{1, 2, 3, 4})
+	ca.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("responder accepted a truncated payload")
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on truncated payload")
+	}
+}
+
+func TestSyncOversizedFrameRejected(t *testing.T) {
+	ca, cb := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SyncResponder([]uint64{1, 2, 3}, cb, nil) }()
+	// Header declaring a payload over maxFrame: must be rejected before any
+	// allocation or read of the body.
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = msgEstimate
+	ca.Write(hdr[:])
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("want frame-limit error, got %v", err)
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on oversized frame")
+	}
+	ca.Close()
+}
+
+func TestSyncResponderUnexpectedType(t *testing.T) {
+	for _, typ := range []byte{msgEstimateReply, msgRoundReply, 0xEE} {
+		ca, cb := net.Pipe()
+		errCh := make(chan error, 1)
+		go func() { errCh <- SyncResponder([]uint64{1, 2, 3}, cb, nil) }()
+		if err := writeFrame(ca, typ, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errCh:
+			if err == nil {
+				t.Fatalf("responder accepted unexpected message type %d", typ)
+			}
+		case <-time.After(faultTimeout):
+			t.Fatalf("responder hung on unexpected message type %d", typ)
+		}
+		ca.Close()
+	}
+}
+
+func TestSyncRoundBeforeEstimateRejected(t *testing.T) {
+	ca, cb := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SyncResponder([]uint64{1, 2, 3}, cb, nil) }()
+	writeFrame(ca, msgRound, []byte{0x08})
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "round before estimation") {
+			t.Fatalf("want round-before-estimation error, got %v", err)
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on early round message")
+	}
+	ca.Close()
+}
+
+func TestSyncInitiatorUnexpectedReplyType(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 500, D: 5, Seed: 21})
+	ca, cb := net.Pipe()
+	go func() {
+		defer cb.Close()
+		// Swallow the estimate, answer with the wrong message type.
+		if _, _, err := readFrame(cb); err != nil {
+			return
+		}
+		writeFrame(cb, msgRoundReply, []byte{1, 2, 3})
+	}()
+	err := withDeadline(t, "initiator", func() error {
+		_, err := SyncInitiator(p.A, ca, &Options{Seed: 22})
+		return err
+	})
+	ca.Close()
+	if err == nil || !strings.Contains(err.Error(), "expected message type") {
+		t.Fatalf("want message-type error, got %v", err)
+	}
+}
+
+func TestSyncInitiatorCorruptEstimateReply(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 500, D: 5, Seed: 23})
+	ca, cb := net.Pipe()
+	go func() {
+		defer cb.Close()
+		if _, _, err := readFrame(cb); err != nil {
+			return
+		}
+		// An unterminated varint: ten continuation bytes and no final group.
+		writeFrame(cb, msgEstimateReply, []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	}()
+	err := withDeadline(t, "initiator", func() error {
+		_, err := SyncInitiator(p.A, ca, &Options{Seed: 24})
+		return err
+	})
+	ca.Close()
+	if err == nil {
+		t.Fatal("initiator accepted a corrupt estimate reply")
+	}
+}
+
+// corruptingResponder runs the estimation phase honestly, then answers the
+// first round with a bit-flipped copy of the real reply.
+func corruptingResponder(set []uint64, conn net.Conn, seed uint64) {
+	defer conn.Close()
+	opt := (&Options{Seed: seed}).withDefaults()
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	if err != nil {
+		return
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != msgEstimate {
+		return
+	}
+	theirs, err := decodeSketches(payload)
+	if err != nil {
+		return
+	}
+	dhatF, err := tow.Estimate(theirs, tow.Sketch(set))
+	if err != nil {
+		return
+	}
+	dhat := uint64(math.Round(dhatF))
+	plan, err := syncPlan(dhat, opt)
+	if err != nil {
+		return
+	}
+	bob, err := NewResponder(set, plan)
+	if err != nil {
+		return
+	}
+	writeFrame(conn, msgEstimateReply, binary.AppendUvarint(nil, dhat))
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil || typ != msgRound {
+			return
+		}
+		reply, err := bob.HandleRound(payload)
+		if err != nil {
+			return
+		}
+		// Truncate the reply mid-scope: Alice must detect it, not panic.
+		writeFrame(conn, msgRoundReply, reply[:len(reply)/2])
+	}
+}
+
+func TestSyncInitiatorCorruptedRoundReply(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 20, Seed: 25})
+	ca, cb := net.Pipe()
+	go corruptingResponder(p.B, cb, 26)
+	err := withDeadline(t, "initiator", func() error {
+		_, err := SyncInitiator(p.A, ca, &Options{Seed: 26})
+		return err
+	})
+	ca.Close()
+	if err == nil {
+		t.Fatal("initiator accepted a corrupted round reply")
+	}
+}
+
+func TestSyncResponderPeerDisconnect(t *testing.T) {
+	// The peer vanishing mid-session must end SyncResponder with an error,
+	// not leave it blocked forever.
+	ca, cb := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SyncResponder([]uint64{1, 2, 3}, cb, nil) }()
+	ca.Close()
+	select {
+	case err := <-errCh:
+		if err != io.EOF && err != io.ErrClosedPipe {
+			if err == nil {
+				t.Fatal("responder treated disconnect as success")
+			}
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung after peer disconnect")
+	}
+}
+
+func TestSyncWrongSketchCountRejected(t *testing.T) {
+	// An initiator configured with a different estimator width must be
+	// rejected by the responder during the estimate phase.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 1000, D: 5, Seed: 27})
+	ca, cb := net.Pipe()
+	respErr := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		respErr <- SyncResponder(p.B, cb, &Options{Seed: 28, EstimatorSketches: 64})
+	}()
+	_, initErr := SyncInitiator(p.A, ca, &Options{Seed: 28, EstimatorSketches: 128})
+	ca.Close()
+	select {
+	case err := <-respErr:
+		if err == nil || !strings.Contains(err.Error(), "sketches") {
+			t.Fatalf("want sketch-count mismatch error, got %v", err)
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on sketch-count mismatch")
+	}
+	if initErr == nil {
+		t.Fatal("initiator must fail when the responder aborts")
+	}
+}

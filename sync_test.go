@@ -125,7 +125,11 @@ func TestSyncStrongVerifyCatchesCorruption(t *testing.T) {
 		// corruption case is exercised in unit form in msethash tests; here
 		// we only pin that a digest mismatch propagates as
 		// ErrVerificationFailed using a hacked responder below.
-		hackedResponder(p.B, cb)
+		corrupt := make([]byte, 32)
+		for i := range corrupt {
+			corrupt[i] = byte(i + 1)
+		}
+		hackedResponder(p.B, cb, corrupt)
 	}()
 	_, err := SyncInitiator(p.A, ca, &Options{Seed: 11, StrongVerify: true})
 	ca.Close()
@@ -134,9 +138,11 @@ func TestSyncStrongVerifyCatchesCorruption(t *testing.T) {
 	}
 }
 
-// hackedResponder behaves like SyncResponder but returns a corrupted
-// verification digest, emulating the false-verification corner case.
-func hackedResponder(set []uint64, conn net.Conn) {
+// hackedResponder behaves like SyncResponder but answers the verification
+// phase with the given digest bytes instead of the honest multiset hash,
+// emulating the false-verification corner case (and, with a wrong-length
+// digest, a protocol-corruption one).
+func hackedResponder(set []uint64, conn net.Conn, digest []byte) {
 	opt := (&Options{Seed: 11}).withDefaults()
 	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
 	if err != nil {
@@ -174,11 +180,7 @@ func hackedResponder(set []uint64, conn net.Conn) {
 			}
 			writeFrame(conn, msgRoundReply, reply)
 		case msgVerify:
-			corrupt := make([]byte, 32)
-			for i := range corrupt {
-				corrupt[i] = byte(i + 1)
-			}
-			writeFrame(conn, msgVerifyReply, corrupt)
+			writeFrame(conn, msgVerifyReply, digest)
 		case msgDone:
 			return
 		}
