@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pbs/internal/exper"
 	"pbs/internal/markov"
@@ -23,20 +25,57 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id: fig1 fig2 fig3 fig4 fig5 table1 table2 sec52 sec53 sec23 appB all")
-		instances = flag.Int("instances", 5, "instances per data point (paper: 1000)")
-		sizeA     = flag.Int("sizeA", 100000, "cardinality of set A (paper: 1000000)")
-		dmax      = flag.Int("dmax", 10000, "largest set-difference cardinality in sweeps (paper: 100000)")
-		psmax     = flag.Int("pinsketch-dmax", 1000, "largest d for plain PinSketch (O(d^2) decoding)")
-		seed      = flag.Int64("seed", 1, "base RNG seed")
-		parallel  = flag.Int("parallel", 1, "concurrent instances per data point (timings get noisy above 1)")
-		verbose   = flag.Bool("v", true, "print per-point progress")
+		exp        = flag.String("exp", "all", "experiment id: fig1 fig2 fig3 fig4 fig5 table1 table2 sec52 sec53 sec23 appB all")
+		instances  = flag.Int("instances", 5, "instances per data point (paper: 1000)")
+		sizeA      = flag.Int("sizeA", 100000, "cardinality of set A (paper: 1000000)")
+		dmax       = flag.Int("dmax", 10000, "largest set-difference cardinality in sweeps (paper: 100000)")
+		psmax      = flag.Int("pinsketch-dmax", 1000, "largest d for plain PinSketch (O(d^2) decoding)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		parallel   = flag.Int("parallel", 1, "concurrent instances per data point (timings get noisy above 1)")
+		verbose    = flag.Bool("v", true, "print per-point progress")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*exp, *instances, *sizeA, *dmax, *psmax, *seed, *parallel, *verbose); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbs-experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pbs-experiments:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(*exp, *instances, *sizeA, *dmax, *psmax, *seed, *parallel, *verbose)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile() // explicit: os.Exit below would skip a defer
+	}
+	// Report the experiment error before any profile-write error so a bad
+	// -memprofile path cannot swallow the failure the user cares about.
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbs-experiments:", err)
+	}
+	if *memprofile != "" {
+		if merr := writeHeapProfile(*memprofile); merr != nil {
+			fmt.Fprintln(os.Stderr, "pbs-experiments:", merr)
+			os.Exit(1)
+		}
+	}
+	if err != nil {
 		os.Exit(1)
 	}
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	return pprof.WriteHeapProfile(f)
 }
 
 func dGrid(dmax int) []int {

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -20,10 +22,12 @@ import (
 
 func main() {
 	var (
-		aPath   = flag.String("a", "", "file with Alice's element IDs (one per line)")
-		bPath   = flag.String("b", "", "file with Bob's element IDs (one per line)")
-		seed    = flag.Uint64("seed", 42, "shared hash seed")
-		workers = flag.Int("parallelism", 0, "per-group decode workers (0 = GOMAXPROCS, 1 = sequential)")
+		aPath      = flag.String("a", "", "file with Alice's element IDs (one per line)")
+		bPath      = flag.String("b", "", "file with Bob's element IDs (one per line)")
+		seed       = flag.Uint64("seed", 42, "shared hash seed")
+		workers    = flag.Int("parallelism", 0, "per-group decode workers (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *aPath == "" || *bPath == "" {
@@ -38,9 +42,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 	res, err := pbs.Reconcile(a, b, &pbs.Options{Seed: *seed, Parallelism: *workers})
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	// Report the reconciliation error before any profile-write error so a
+	// bad -memprofile path cannot swallow the failure the user cares about.
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "pbs-recon:", err)
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fatal(merr)
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fatal(merr)
+		}
+		f.Close()
+	}
+	if err != nil {
+		os.Exit(1)
 	}
 	fmt.Printf("# |A|=%d |B|=%d estimated d=%d rounds=%d payload=%dB estimator=%dB complete=%v\n",
 		len(a), len(b), res.EstimatedD, res.Rounds, res.PayloadBytes, res.EstimatorBytes, res.Complete)

@@ -1,0 +1,272 @@
+package bch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestDecodeIntoMatchesDecode runs randomized sketches — within capacity,
+// at capacity, and over capacity — through a single reused (and therefore
+// dirty) workspace and requires exact agreement with fresh Decode calls.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ws := NewDecoder()
+	var dst []uint64
+	for trial := 0; trial < 300; trial++ {
+		m := []uint{6, 8, 11, 13}[rng.Intn(4)]
+		tcap := 1 + rng.Intn(16)
+		k := rng.Intn(tcap + 6) // sometimes over capacity
+		s := MustNew(m, tcap)
+		elems := distinctElems(rng, m, min(k, 1<<m-1))
+		s.AddSet(elems)
+
+		want, wantErr := s.Decode()
+		dst = dst[:0]
+		got, gotErr := s.DecodeInto(ws, dst)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d (m=%d t=%d k=%d): Decode err=%v, DecodeInto err=%v",
+				trial, m, tcap, k, wantErr, gotErr)
+		}
+		if gotErr != nil {
+			if !errors.Is(gotErr, ErrDecodeFailure) {
+				t.Fatalf("trial %d: unexpected error %v", trial, gotErr)
+			}
+			if len(got) != 0 {
+				t.Fatalf("trial %d: dst modified on failure: %v", trial, got)
+			}
+			continue
+		}
+		equalSets(t, got, want)
+	}
+}
+
+// TestDecodeIntoDirtyWorkspace interleaves shapes and failures: a workspace
+// that just decoded a large sketch (or just failed) must decode a small
+// one correctly, and vice versa.
+func TestDecodeIntoDirtyWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ws := NewDecoder()
+
+	big := MustNew(13, 30)
+	bigElems := distinctElems(rng, 13, 30)
+	big.AddSet(bigElems)
+
+	small := MustNew(8, 3)
+	smallElems := distinctElems(rng, 8, 2)
+	small.AddSet(smallElems)
+
+	over := MustNew(11, 4)
+	over.AddSet(distinctElems(rng, 11, 9))
+
+	for round := 0; round < 10; round++ {
+		got, err := big.DecodeInto(ws, nil)
+		if err != nil {
+			t.Fatalf("round %d big: %v", round, err)
+		}
+		equalSets(t, got, bigElems)
+
+		if _, err := over.DecodeInto(ws, nil); err == nil {
+			t.Fatalf("round %d: over-capacity decode succeeded", round)
+		}
+
+		got, err = small.DecodeInto(ws, nil)
+		if err != nil {
+			t.Fatalf("round %d small after failure: %v", round, err)
+		}
+		equalSets(t, got, smallElems)
+	}
+}
+
+// TestDecodeIntoAppends verifies the dst contract: recovered elements are
+// appended in ascending order and dst is untouched on failure.
+func TestDecodeIntoAppends(t *testing.T) {
+	s := MustNew(8, 4)
+	s.Add(7)
+	s.Add(9)
+	ws := NewDecoder()
+	dst := []uint64{99}
+	dst, err := s.DecodeInto(ws, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 3 || dst[0] != 99 || dst[1] != 7 || dst[2] != 9 {
+		t.Fatalf("append contract violated: %v", dst)
+	}
+
+	rng := rand.New(rand.NewSource(33))
+	over := MustNew(8, 2)
+	over.AddSet(distinctElems(rng, 8, 6))
+	before := append([]uint64(nil), dst...)
+	got, err := over.DecodeInto(ws, dst)
+	if err == nil {
+		t.Skip("unlucky seed: over-capacity sketch decoded") // recheck makes this ~impossible
+	}
+	equalSets(t, got, before)
+}
+
+// TestDecodeIntoZeroAllocs is the steady-state allocation contract of the
+// tentpole: repeated decodes of same-shaped sketches through a warmed-up
+// workspace must not touch the heap (table fields).
+func TestDecodeIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	const tcap = 13
+	sketches := make([]*Sketch, 8)
+	for i := range sketches {
+		sketches[i] = MustNew(11, tcap)
+		sketches[i].AddSet(distinctElems(rng, 11, 1+rng.Intn(tcap)))
+	}
+	ws := NewDecoder()
+	dst := make([]uint64, 0, tcap)
+	// Warm up buffers.
+	for _, s := range sketches {
+		var err error
+		if dst, err = s.DecodeInto(ws, dst[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, s := range sketches {
+			var err error
+			if dst, err = s.DecodeInto(ws, dst[:0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestDecodeIntoConcurrent exercises per-goroutine workspaces decoding
+// shared sketches under the race detector.
+func TestDecodeIntoConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	sketches := make([]*Sketch, 16)
+	wants := make([][]uint64, len(sketches))
+	for i := range sketches {
+		sketches[i] = MustNew(11, 13)
+		wants[i] = distinctElems(rng, 11, 1+rng.Intn(13))
+		sketches[i].AddSet(wants[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := NewDecoder()
+			var dst []uint64
+			for rep := 0; rep < 20; rep++ {
+				for i, s := range sketches {
+					var err error
+					dst, err = s.DecodeInto(ws, dst[:0])
+					if err != nil {
+						t.Errorf("sketch %d: %v", i, err)
+						return
+					}
+					if len(dst) != len(wants[i]) {
+						t.Errorf("sketch %d: got %d elems, want %d", i, len(dst), len(wants[i]))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDecodeIntoMatchesReference differentially tests the new kernel
+// against the preserved pre-workspace kernel, including GF(2^32).
+func TestDecodeIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	ws := NewDecoder()
+	for trial := 0; trial < 200; trial++ {
+		m := []uint{8, 11, 32}[rng.Intn(3)]
+		tcap := 1 + rng.Intn(12)
+		k := rng.Intn(tcap + 4)
+		s := MustNew(m, tcap)
+		s.AddSet(distinctElems(rng, m, k))
+
+		want, wantErr := referenceDecode(s)
+		got, gotErr := s.DecodeInto(ws, nil)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d (m=%d t=%d k=%d): reference err=%v, DecodeInto err=%v",
+				trial, m, tcap, k, wantErr, gotErr)
+		}
+		if gotErr == nil {
+			equalSets(t, got, want)
+		}
+	}
+}
+
+// kernelCase builds the PBS steady-state decode workload for difference
+// cardinality d: g = d/δ sketches over GF(2^11) with capacity t = 13 and
+// ~δ = 5 set elements each — the per-round kernel the paper's headline
+// decode-cost claim is about.
+func kernelCase(tb testing.TB, d int) []*Sketch {
+	tb.Helper()
+	const m, tcap, delta = uint(11), 13, 5
+	rng := rand.New(rand.NewSource(int64(d)))
+	groups := d / delta
+	if groups < 1 {
+		groups = 1
+	}
+	sketches := make([]*Sketch, groups)
+	for i := range sketches {
+		sketches[i] = MustNew(m, tcap)
+		k := 1 + rng.Intn(2*delta-1) // 1..9 differing positions, mean ~5
+		sketches[i].AddSet(distinctElems(rng, m, k))
+	}
+	return sketches
+}
+
+// BenchmarkDecodeKernel measures the steady-state PBS decode hot path with
+// a reused workspace at d ∈ {100, 1k, 10k}. Compare against
+// BenchmarkDecodeKernelReference (the pre-workspace kernel) for the
+// speedup, and -benchmem for the zero-allocation claim.
+func BenchmarkDecodeKernel(b *testing.B) {
+	for _, d := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			sketches := kernelCase(b, d)
+			ws := NewDecoder()
+			dst := make([]uint64, 0, 16)
+			var err error
+			// Warm up the workspace so the loop measures steady state.
+			for _, s := range sketches {
+				if dst, err = s.DecodeInto(ws, dst[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, s := range sketches {
+					if dst, err = s.DecodeInto(ws, dst[:0]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeKernelReference is the identical workload through the
+// pre-PR kernel preserved in reference_test.go.
+func BenchmarkDecodeKernelReference(b *testing.B) {
+	for _, d := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			sketches := kernelCase(b, d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, s := range sketches {
+					if _, err := referenceDecode(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

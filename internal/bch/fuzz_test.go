@@ -1,0 +1,87 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzBCHRoundTrip encodes two random sets, XORs their sketches, decodes
+// the symmetric difference, and cross-checks three properties:
+//
+//  1. within capacity, the decode must recover exactly A△B;
+//  2. DecodeInto through a reused (dirty) workspace must agree with a
+//     fresh Decode call on both the result and the error;
+//  3. over capacity, a decode must either fail or — in the
+//     astronomically unlikely miscorrection case — still agree between
+//     the two code paths.
+func FuzzBCHRoundTrip(f *testing.F) {
+	f.Add(uint64(42), uint64(11), uint64(13), uint64(5), uint64(7))
+	f.Add(uint64(1), uint64(6), uint64(3), uint64(0), uint64(0))
+	f.Add(uint64(99), uint64(8), uint64(4), uint64(9), uint64(9))
+	f.Add(uint64(7), uint64(13), uint64(2), uint64(40), uint64(1))
+	f.Add(uint64(123456), uint64(16), uint64(8), uint64(20), uint64(15))
+
+	ws := NewDecoder() // deliberately shared across fuzz cases: must stay clean
+	f.Fuzz(func(t *testing.T, seed, mRaw, tRaw, naRaw, nbRaw uint64) {
+		m := uint(2 + mRaw%15) // 2..16: the table-field hot path
+		tcap := int(1 + tRaw%20)
+		if uint64(tcap) > (uint64(1)<<m-1)/2 {
+			tcap = int((uint64(1)<<m - 1) / 2)
+		}
+		universe := uint64(1)<<m - 1
+		na := naRaw % 64
+		nb := nbRaw % 64
+		if na > universe {
+			na = universe
+		}
+		if nb > universe {
+			nb = universe
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+		// Draw both sets from a shared pool so they overlap often.
+		pool := distinctElems(rng, m, int(min(universe, na+nb)))
+		setA := map[uint64]struct{}{}
+		setB := map[uint64]struct{}{}
+		for i := uint64(0); len(pool) > 0 && i < na; i++ {
+			setA[pool[rng.Intn(len(pool))]] = struct{}{}
+		}
+		for i := uint64(0); len(pool) > 0 && i < nb; i++ {
+			setB[pool[rng.Intn(len(pool))]] = struct{}{}
+		}
+
+		sa := MustNew(m, tcap)
+		sb := MustNew(m, tcap)
+		var trueDiff []uint64
+		for x := range setA {
+			sa.Add(x)
+			if _, in := setB[x]; !in {
+				trueDiff = append(trueDiff, x)
+			}
+		}
+		for x := range setB {
+			sb.Add(x)
+			if _, in := setA[x]; !in {
+				trueDiff = append(trueDiff, x)
+			}
+		}
+		if err := sa.Xor(sb); err != nil {
+			t.Fatal(err)
+		}
+
+		fresh, freshErr := sa.Decode()
+		reused, reusedErr := sa.DecodeInto(ws, nil)
+		if (freshErr == nil) != (reusedErr == nil) {
+			t.Fatalf("Decode err=%v but DecodeInto err=%v", freshErr, reusedErr)
+		}
+		if freshErr == nil {
+			equalSets(t, reused, fresh)
+		}
+		if len(trueDiff) <= tcap {
+			if freshErr != nil {
+				t.Fatalf("within-capacity decode failed: |diff|=%d t=%d m=%d: %v",
+					len(trueDiff), tcap, m, freshErr)
+			}
+			equalSets(t, fresh, trueDiff)
+		}
+	})
+}

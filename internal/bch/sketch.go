@@ -141,152 +141,38 @@ func ReadFrom(r *wire.Reader, m uint, t int) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < t; i++ {
-		v, err := r.ReadBits(m)
-		if err != nil {
-			return nil, err
-		}
-		s.odd[i] = v
+	if err := s.ReadInto(r); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
+// ReadInto overwrites s's syndromes with a serialized sketch of the same
+// shape read from r, letting callers reuse one Sketch across many parses.
+func (s *Sketch) ReadInto(r *wire.Reader) error {
+	for i := range s.odd {
+		v, err := r.ReadBits(s.f.M())
+		if err != nil {
+			return err
+		}
+		s.odd[i] = v
+	}
+	return nil
+}
+
+// Reset clears the sketch back to the empty set, keeping its shape and
+// storage so it can be refilled without allocation.
+func (s *Sketch) Reset() { clear(s.odd) }
+
 // Decode recovers the sketched set. On success it returns the elements in
-// unspecified order. It returns ErrDecodeFailure when the set cannot be
+// ascending order. It returns ErrDecodeFailure when the set cannot be
 // recovered (more than t elements, or inconsistent syndromes).
+//
+// Decode allocates a fresh workspace per call; hot paths should hold a
+// Decoder and call DecodeInto instead.
 func (s *Sketch) Decode() ([]uint64, error) {
-	if s.Empty() {
-		return nil, nil
-	}
-	// Build the full syndrome sequence syn[1..2t] using σ_{2k} = σ_k².
-	syn := make([]uint64, 2*s.t+1)
-	for i := 1; i <= 2*s.t; i++ {
-		if i%2 == 1 {
-			syn[i] = s.odd[(i-1)/2]
-		} else {
-			syn[i] = s.f.Sqr(syn[i/2])
-		}
-	}
-	locator := berlekampMassey(s.f, syn[1:])
-	deg := locator.Degree()
-	if deg < 1 || deg > s.t {
-		return nil, ErrDecodeFailure
-	}
-	roots, err := findRoots(s.f, locator)
-	if err != nil {
-		return nil, err
-	}
-	if len(roots) != deg {
-		return nil, ErrDecodeFailure
-	}
-	// The locator Λ(x) = Π (1 − X_i·x) has roots at X_i^{-1}.
-	elems := make([]uint64, len(roots))
-	for i, r := range roots {
-		elems[i] = s.f.Inv(r)
-	}
-	// Robust failure detection (§3.2): recompute the odd syndromes from the
-	// recovered elements and require an exact match. When the true
-	// difference exceeds t, Berlekamp–Massey may still emit a fully-rooted
-	// locator; this recheck catches essentially all such miscorrections.
-	check := make([]uint64, s.t)
-	for _, x := range elems {
-		w := s.f.Window(s.f.Sqr(x))
-		p := x
-		for k := 0; k < s.t; k++ {
-			check[k] ^= p
-			if k+1 < s.t {
-				p = w.Mul(p)
-			}
-		}
-	}
-	for k := range check {
-		if check[k] != s.odd[k] {
-			return nil, ErrDecodeFailure
-		}
-	}
-	return elems, nil
-}
-
-// berlekampMassey computes the minimal LFSR (the error locator polynomial)
-// for the syndrome sequence syn[0..2t-1] over the field f.
-func berlekampMassey(f *gf2.Field, syn []uint64) gf2.Poly {
-	c := gf2.NewPoly(1) // connection polynomial Λ
-	b := gf2.NewPoly(1)
-	var l int
-	shift := 1
-	bInv := uint64(1) // inverse of the last nonzero discrepancy
-	for n := 0; n < len(syn); n++ {
-		// Discrepancy d = syn[n] + Σ_{i=1}^{l} c[i]·syn[n−i].
-		d := syn[n]
-		for i := 1; i <= l && i < len(c); i++ {
-			d ^= f.Mul(c[i], syn[n-i])
-		}
-		if d == 0 {
-			shift++
-			continue
-		}
-		coef := f.Mul(d, bInv)
-		// c' = c − coef·x^shift·b
-		nc := c.Clone()
-		for len(nc) < len(b)+shift {
-			nc = append(nc, 0)
-		}
-		w := f.Window(coef)
-		for i, bi := range b {
-			if bi != 0 {
-				nc[i+shift] ^= w.Mul(bi)
-			}
-		}
-		if 2*l <= n {
-			b = c
-			bInv = f.Inv(d)
-			l = n + 1 - l
-			shift = 1
-		} else {
-			shift++
-		}
-		c = gf2.Poly(nc)
-	}
-	// Trim trailing zeros without disturbing l-consistency checks upstream.
-	for len(c) > 0 && c[len(c)-1] == 0 {
-		c = c[:len(c)-1]
-	}
-	return c
-}
-
-// chienThreshold is the largest field degree for which exhaustive root
-// search is used; beyond it the gcd/trace method is used instead.
-const chienThreshold = 16
-
-// findRoots returns the distinct roots of p that lie in f. It returns
-// ErrDecodeFailure if p does not split into distinct linear factors over f
-// (which signals a miscorrection).
-func findRoots(f *gf2.Field, p gf2.Poly) ([]uint64, error) {
-	if p.Degree() < 1 {
-		return nil, nil
-	}
-	if f.M() <= chienThreshold {
-		return chienSearch(f, p)
-	}
-	return traceRootFind(f, p)
-}
-
-// chienSearch exhaustively evaluates p at every nonzero field element.
-func chienSearch(f *gf2.Field, p gf2.Poly) ([]uint64, error) {
-	var roots []uint64
-	deg := p.Degree()
-	for x := uint64(1); x <= f.Order(); x++ {
-		if p.Eval(f, x) == 0 {
-			roots = append(roots, x)
-			if len(roots) == deg {
-				break
-			}
-		}
-	}
-	if len(roots) != deg {
-		return nil, ErrDecodeFailure
-	}
-	return roots, nil
+	var ws Decoder
+	return s.DecodeInto(&ws, nil)
 }
 
 // traceRootFind finds the roots of p using the Berlekamp trace algorithm:
@@ -365,12 +251,16 @@ func squarefree(f *gf2.Field, p gf2.Poly) bool {
 }
 
 // tracePolyMod computes Tr(β·x) mod g = Σ_{i=0}^{m−1} (β·x)^(2^i) mod g.
+// The accumulator double-buffers through PolyAddInto so the m−1 additions
+// reuse two backing arrays instead of allocating one each.
 func tracePolyMod(f *gf2.Field, beta uint64, g gf2.Poly) gf2.Poly {
 	cur := gf2.PolyMod(f, gf2.NewPoly(0, beta), g) // β·x mod g
 	acc := cur.Clone()
+	var buf gf2.Poly
 	for i := uint(1); i < f.M(); i++ {
 		cur = gf2.PolySqrMod(f, cur, g)
-		acc = gf2.PolyAdd(acc, cur)
+		buf = gf2.PolyAddInto(acc, cur, buf)
+		acc, buf = buf, acc
 	}
 	return acc
 }

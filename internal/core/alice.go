@@ -30,6 +30,38 @@ type Alice struct {
 
 	encodeTime time.Duration // time spent building bitmaps and codewords
 	decodeTime time.Duration // time spent recovering and verifying elements
+
+	// Reusable hot-path scratch: steady-state rounds reuse these instead
+	// of allocating. sketches holds one codeword sketch per active-scope
+	// index, reset each round; parity is per-worker bitmap scratch;
+	// sumsPool is a free list for the per-scope bin XOR-sum buffers that
+	// live on scopes between BuildRound and AbsorbReply; durs is the
+	// per-worker timing scratch.
+	sketches []*bch.Sketch
+	parity   [][]bool
+	sumsPool [][]uint64
+	durs     []time.Duration
+	parsed   []aliceParsedScope
+	outcomes []aliceScopeOutcome
+}
+
+// getSums pops a zeroed bin-sum buffer (1-based, n+1 slots) off the free
+// list, or allocates one.
+func (a *Alice) getSums(n uint64) []uint64 {
+	if len(a.sumsPool) > 0 {
+		s := a.sumsPool[len(a.sumsPool)-1]
+		a.sumsPool = a.sumsPool[:len(a.sumsPool)-1]
+		clear(s)
+		return s
+	}
+	return make([]uint64, n+1)
+}
+
+// putSums returns a buffer to the free list.
+func (a *Alice) putSums(s []uint64) {
+	if s != nil {
+		a.sumsPool = append(a.sumsPool, s)
+	}
 }
 
 // EncodeTime returns the cumulative time Alice spent encoding (hash
@@ -73,7 +105,7 @@ func NewAlice(set []uint64, plan Plan) (*Alice, error) {
 	scopes := make([]*aliceScope, plan.Groups)
 	for g := range scopes {
 		scopes[g] = &aliceScope{
-			id: scopeID{group: g},
+			id: newScopeID(g),
 			w:  make(map[uint64]struct{}),
 		}
 	}
@@ -138,21 +170,41 @@ func (a *Alice) BuildRound() ([]byte, error) {
 	a.round++
 	n := a.plan.N()
 	nw := a.plan.workers()
-	durs := make([]time.Duration, nw)
-	sketches := make([]*bch.Sketch, len(a.active))
+	// Grow the long-lived scratch to this round's shape; in steady state
+	// every buffer below is a reuse.
+	for len(a.parity) < nw {
+		a.parity = append(a.parity, nil)
+	}
+	for len(a.sketches) < len(a.active) {
+		a.sketches = append(a.sketches, bch.MustNew(a.plan.M, a.plan.T))
+	}
+	for _, sc := range a.active {
+		if sc.binSums == nil {
+			sc.binSums = a.getSums(n)
+		} else {
+			clear(sc.binSums)
+		}
+	}
+	durs := a.roundDurs(nw)
 	forEachScope(nw, len(a.active), func(worker, i int) {
 		t0 := time.Now()
 		sc := a.active[i]
 		sc.binSeed = a.sd.binSeed(sc.id, a.round)
-		sums, parity := binFold(sc.w, sc.binSeed, n)
-		sc.binSums = sums
-		sketch := bch.MustNew(a.plan.M, a.plan.T)
+		parity := a.parity[worker]
+		if uint64(len(parity)) != n+1 {
+			parity = make([]bool, n+1)
+			a.parity[worker] = parity
+		} else {
+			clear(parity)
+		}
+		binFold(sc.w, sc.binSeed, n, sc.binSums, parity)
+		sketch := a.sketches[i]
+		sketch.Reset()
 		for j := uint64(1); j <= n; j++ {
 			if parity[j] {
 				sketch.Add(j)
 			}
 		}
-		sketches[i] = sketch
 		durs[worker] += time.Since(t0)
 	})
 	for _, d := range durs {
@@ -164,13 +216,23 @@ func (a *Alice) BuildRound() ([]byte, error) {
 	w.WriteUvarint(uint64(len(a.active)))
 	for i, sc := range a.active {
 		writeScopeID(w, sc.id)
-		sketches[i].AppendTo(w)
-		a.payloadBits += sketches[i].Bits()
+		a.sketches[i].AppendTo(w)
+		a.payloadBits += a.sketches[i].Bits()
 		a.sketchesSent++
 	}
 	a.awaiting = true
 	a.encodeTime += time.Since(serStart)
 	return w.Bytes(), nil
+}
+
+// roundDurs returns the per-worker timing scratch, zeroed.
+func (a *Alice) roundDurs(nw int) []time.Duration {
+	if cap(a.durs) < nw {
+		a.durs = make([]time.Duration, nw)
+	}
+	a.durs = a.durs[:nw]
+	clear(a.durs)
+	return a.durs
 }
 
 // aliceParsedScope is one scope's slice of Bob's reply, parsed off the
@@ -212,9 +274,15 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 	a.awaiting = false
 	parseStart := time.Now()
 	r := wire.NewReader(reply)
-	parsed := make([]aliceParsedScope, len(a.active))
+	if cap(a.parsed) < len(a.active) {
+		a.parsed = make([]aliceParsedScope, len(a.active))
+	}
+	parsed := a.parsed[:len(a.active)]
 	for i := range a.active {
 		p := &parsed[i]
+		p.positions = p.positions[:0]
+		p.sums = p.sums[:0]
+		p.bobCk = 0
 		ok, err := r.ReadBool()
 		if err != nil {
 			return fmt.Errorf("core: truncated reply: %w", err)
@@ -230,17 +298,19 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 		if count > a.plan.N() {
 			return fmt.Errorf("core: reply position count %d exceeds bitmap size", count)
 		}
-		p.positions = make([]uint64, count)
-		for j := range p.positions {
-			if p.positions[j], err = r.ReadBits(a.plan.M); err != nil {
+		for j := uint64(0); j < count; j++ {
+			v, err := r.ReadBits(a.plan.M)
+			if err != nil {
 				return fmt.Errorf("core: truncated reply: %w", err)
 			}
+			p.positions = append(p.positions, v)
 		}
-		p.sums = make([]uint64, count)
-		for j := range p.sums {
-			if p.sums[j], err = r.ReadBits(a.plan.SigBits); err != nil {
+		for j := uint64(0); j < count; j++ {
+			v, err := r.ReadBits(a.plan.SigBits)
+			if err != nil {
 				return fmt.Errorf("core: truncated reply: %w", err)
 			}
+			p.sums = append(p.sums, v)
 		}
 		if p.bobCk, err = r.ReadBits(a.plan.SigBits); err != nil {
 			return fmt.Errorf("core: truncated reply: %w", err)
@@ -253,16 +323,22 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 	// compute accepted elements, the would-be checksum, and split children
 	// without mutating anything, so an error below leaves the session
 	// exactly as it was (no half-applied round).
-	outcomes := make([]aliceScopeOutcome, len(a.active))
+	if cap(a.outcomes) < len(a.active) {
+		a.outcomes = make([]aliceScopeOutcome, len(a.active))
+	}
+	outcomes := a.outcomes[:len(a.active)]
 	errs := newScopeErrors(len(a.active))
 	nw := a.plan.workers()
-	durs := make([]time.Duration, nw)
+	durs := a.roundDurs(nw)
 	forEachScope(nw, len(a.active), func(worker, i int) {
 		t0 := time.Now()
 		defer func() { durs[worker] += time.Since(t0) }()
 		sc := a.active[i]
 		p := &parsed[i]
 		out := &outcomes[i]
+		out.accepted = out.accepted[:0]
+		out.verified = false
+		out.splits = nil
 		if !p.ok {
 			// BCH decoding failure (§3.2): split three ways for next round.
 			out.splits = a.splitScope(sc)
@@ -297,6 +373,8 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 	for i, sc := range a.active {
 		out := &outcomes[i]
 		if out.splits != nil {
+			a.putSums(sc.binSums)
+			sc.binSums = nil
 			next = append(next, out.splits...)
 			continue
 		}
@@ -305,8 +383,12 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 		for _, s := range out.accepted {
 			a.toggle(sc, s)
 		}
-		sc.binSums = nil
-		if !out.verified {
+		if out.verified {
+			// The scope is done: recycle its bin-sum buffer for future
+			// rounds (surviving scopes keep theirs attached).
+			a.putSums(sc.binSums)
+			sc.binSums = nil
+		} else {
 			next = append(next, sc)
 		}
 	}
@@ -329,7 +411,7 @@ func (a *Alice) acceptRecovered(sc *aliceScope, s uint64, pos uint64) bool {
 	if a.sd.groupOf(s, a.plan.Groups) != sc.id.group {
 		return false
 	}
-	cur := scopeID{group: sc.id.group}
+	cur := newScopeID(sc.id.group)
 	for i := 0; i < len(sc.id.path); i++ {
 		if a.sd.childOf(s, cur) != int(sc.id.path[i]-'0') {
 			return false
@@ -385,17 +467,15 @@ func (a *Alice) splitScope(sc *aliceScope) []*aliceScope {
 	return children
 }
 
-// binFold hashes every element of set into a bin in [1, n] and returns the
-// per-bin XOR sums and cardinality parities.
-func binFold(set map[uint64]struct{}, seed uint64, n uint64) (sums []uint64, parity []bool) {
-	sums = make([]uint64, n+1)
-	parity = make([]bool, n+1)
+// binFold hashes every element of set into a bin in [1, n], accumulating
+// per-bin XOR sums and cardinality parities into the caller's buffers
+// (both 1-based with n+1 slots, pre-zeroed).
+func binFold(set map[uint64]struct{}, seed uint64, n uint64, sums []uint64, parity []bool) {
 	for x := range set {
 		b := hashutil.Bin(x, seed, n)
 		sums[b] ^= x
 		parity[b] = !parity[b]
 	}
-	return sums, parity
 }
 
 func writeScopeID(w *wire.Writer, id scopeID) {
@@ -429,5 +509,5 @@ func readScopeID(r *wire.Reader) (scopeID, error) {
 		}
 		path[i] = byte('0' + c)
 	}
-	return scopeID{group: int(g), path: string(path)}, nil
+	return makeScopeID(int(g), string(path)), nil
 }

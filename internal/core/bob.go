@@ -33,6 +33,18 @@ type Bob struct {
 
 	encodeTime time.Duration // building bitmaps, XOR sums, and sketches
 	decodeTime time.Duration // BCH decoding
+
+	// Reusable hot-path scratch: in steady state HandleRound performs no
+	// per-scope allocations. scratch is per-worker (bin-fold buffers, the
+	// parity sketch, and the BCH decode workspace); jobSketches are the
+	// reused parse targets for Alice's codewords; posBufs/xorBufs hold
+	// each scope index's reply until serialization.
+	scratch     []bobScratch
+	jobSketches []*bch.Sketch
+	posBufs     [][]uint64
+	xorBufs     [][]uint64
+	jobs        []bobScopeJob
+	replies     []bobScopeReply
 }
 
 // EncodeTime returns the cumulative time Bob spent encoding (hash
@@ -89,7 +101,7 @@ func (b *Bob) scopeSet(id scopeID) []uint64 {
 	if s, ok := b.scopeSets[id]; ok {
 		return s
 	}
-	parent := scopeID{group: id.group, path: id.path[:len(id.path)-1]}
+	parent := makeScopeID(id.group, id.path[:len(id.path)-1])
 	parentSet := b.scopeSet(parent)
 	// Partition the parent into all children at once so sibling lookups hit
 	// the cache.
@@ -135,15 +147,18 @@ type bobScopeReply struct {
 	xors      []uint64 // Bob's per-bin XOR sums at those positions
 }
 
-// bobScratch is per-worker round state: the bin-fold buffers (cleared per
-// scope instead of reallocated, which matters at large g) and the worker's
-// accumulated encode/decode time, folded into the Bob totals after the
-// parallel phase joins.
+// bobScratch is per-worker state, long-lived across rounds: the bin-fold
+// buffers (cleared per scope instead of reallocated, which matters at
+// large g), the reusable parity sketch, the BCH decode workspace, and the
+// worker's accumulated encode/decode time, folded into the Bob totals
+// (and zeroed) after each parallel phase joins.
 type bobScratch struct {
 	sums   []uint64
 	parity []bool
-	enc    time.Duration
-	dec    time.Duration
+	sketch *bch.Sketch
+	dec    *bch.Decoder
+	encDur time.Duration
+	decDur time.Duration
 }
 
 // HandleRound processes one round message from Alice and returns the reply.
@@ -171,7 +186,7 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 	// Grow jobs as scopes parse successfully rather than pre-allocating by
 	// the peer-claimed count: a tiny frame claiming the plausibility cap
 	// must not force a multi-megabyte allocation before validation.
-	jobs := make([]bobScopeJob, 0, min(nScopes, uint64(b.plan.Groups)))
+	jobs := b.jobs[:0]
 	for s := uint64(0); s < nScopes; s++ {
 		id, err := readScopeID(r)
 		if err != nil {
@@ -180,8 +195,13 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 		if id.group < 0 || id.group >= b.plan.Groups {
 			return nil, fmt.Errorf("core: scope group %d out of range", id.group)
 		}
-		aliceSketch, err := bch.ReadFrom(r, b.plan.M, b.plan.T)
-		if err != nil {
+		// Parse Alice's codeword into a long-lived per-index sketch instead
+		// of allocating one per scope per round.
+		if int(s) >= len(b.jobSketches) {
+			b.jobSketches = append(b.jobSketches, bch.MustNew(b.plan.M, b.plan.T))
+		}
+		aliceSketch := b.jobSketches[s]
+		if err := aliceSketch.ReadInto(r); err != nil {
 			return nil, fmt.Errorf("core: bad sketch: %w", err)
 		}
 		// scopeSet mutates the split cache, so it must stay in this
@@ -193,6 +213,7 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 			seed:  b.sd.binSeed(id, int(round)),
 		})
 	}
+	b.jobs = jobs
 
 	workers := b.plan.workers()
 	if workers > len(jobs) {
@@ -201,20 +222,35 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	scratches := make([]bobScratch, workers)
-	replies := make([]bobScopeReply, len(jobs))
+	for len(b.scratch) < workers {
+		b.scratch = append(b.scratch, bobScratch{})
+	}
+	for len(b.posBufs) < len(jobs) {
+		b.posBufs = append(b.posBufs, nil)
+		b.xorBufs = append(b.xorBufs, nil)
+	}
+	if cap(b.replies) < len(jobs) {
+		b.replies = make([]bobScopeReply, len(jobs))
+	}
+	replies := b.replies[:len(jobs)]
 	forEachScope(workers, len(jobs), func(worker, i int) {
-		sc := &scratches[worker]
-		if sc.sums == nil {
+		replies[i] = bobScopeReply{}
+		sc := &b.scratch[worker]
+		if uint64(len(sc.sums)) != n+1 {
 			sc.sums = make([]uint64, n+1)
 			sc.parity = make([]bool, n+1)
 		} else {
 			clear(sc.sums)
 			clear(sc.parity)
 		}
+		if sc.sketch == nil {
+			sc.sketch = bch.MustNew(b.plan.M, b.plan.T)
+			sc.dec = bch.NewDecoder()
+		}
 		job := &jobs[i]
 		encStart := time.Now()
-		sketch := bch.MustNew(b.plan.M, b.plan.T)
+		sketch := sc.sketch
+		sketch.Reset()
 		for _, x := range job.set {
 			bin := hashutil.Bin(x, job.seed, n)
 			sc.sums[bin] ^= x
@@ -227,23 +263,27 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 		}
 		// The shapes match by construction (same plan), so Xor cannot fail.
 		sketch.Xor(job.alice)
-		sc.enc += time.Since(encStart)
+		sc.encDur += time.Since(encStart)
 		decStart := time.Now()
-		positions, derr := sketch.Decode()
-		sc.dec += time.Since(decStart)
+		positions, derr := sketch.DecodeInto(sc.dec, b.posBufs[i][:0])
+		b.posBufs[i] = positions
+		sc.decDur += time.Since(decStart)
 		if derr != nil {
 			// BCH decoding failure (§3.2): report it; Alice will split.
 			return
 		}
-		xors := make([]uint64, len(positions))
-		for j, p := range positions {
-			xors[j] = sc.sums[p]
+		xors := b.xorBufs[i][:0]
+		for _, p := range positions {
+			xors = append(xors, sc.sums[p])
 		}
+		b.xorBufs[i] = xors
 		replies[i] = bobScopeReply{ok: true, positions: positions, xors: xors}
 	})
-	for i := range scratches {
-		b.encodeTime += scratches[i].enc
-		b.decodeTime += scratches[i].dec
+	for i := range b.scratch {
+		b.encodeTime += b.scratch[i].encDur
+		b.decodeTime += b.scratch[i].decDur
+		b.scratch[i].encDur = 0
+		b.scratch[i].decDur = 0
 	}
 
 	out := wire.NewWriter()

@@ -385,7 +385,7 @@ func TestPlanDefaults(t *testing.T) {
 }
 
 func TestScopeIDChildAndHash(t *testing.T) {
-	root := scopeID{group: 3}
+	root := newScopeID(3)
 	c0 := root.child(0)
 	c1 := root.child(1)
 	if c0 == c1 || c0.hash() == c1.hash() {
@@ -399,10 +399,10 @@ func TestScopeIDChildAndHash(t *testing.T) {
 
 func TestScopeRoundtripWire(t *testing.T) {
 	ids := []scopeID{
-		{group: 0},
-		{group: 199},
-		{group: 3, path: "012"},
-		{group: 7, path: "222120"},
+		makeScopeID(0, ""),
+		makeScopeID(199, ""),
+		makeScopeID(3, "012"),
+		makeScopeID(7, "222120"),
 	}
 	for _, id := range ids {
 		w := newTestWriter()

@@ -12,6 +12,7 @@ import (
 type scopeID struct {
 	group int
 	path  string // one byte per split level, values 0..splitWays-1
+	h     uint64 // cached identity hash; maintained by the constructors
 }
 
 // splitWays is the fan-out used when a group pair's BCH decoding fails.
@@ -19,19 +20,38 @@ type scopeID struct {
 // probability of another failure, §3.2).
 const splitWays = 3
 
-func (s scopeID) child(i int) scopeID {
-	return scopeID{group: s.group, path: s.path + string(rune('0'+i))}
+// newScopeID returns the root scope of a group with its identity hash
+// precomputed. All scopeID values must come from newScopeID, child, or
+// makeScopeID so the cached hash stays consistent (it participates in
+// scopeID equality and map keys).
+func newScopeID(group int) scopeID {
+	return scopeID{group: group, h: hashutil.XXH64Uint64(uint64(group), 0x5C09E)}
 }
 
-// hash folds the scope identity into a 64-bit value used to derive
-// scope-specific hash seeds.
-func (s scopeID) hash() uint64 {
-	h := hashutil.XXH64Uint64(uint64(s.group), 0x5C09E)
-	for i := 0; i < len(s.path); i++ {
-		h = hashutil.XXH64Uint64(h, uint64(s.path[i])+0x711D)
+func (s scopeID) child(i int) scopeID {
+	return scopeID{
+		group: s.group,
+		path:  s.path + string(rune('0'+i)),
+		h:     hashutil.XXH64Uint64(s.h, uint64('0'+i)+0x711D),
 	}
-	return h
 }
+
+// makeScopeID rebuilds a scopeID (and its cached hash) from raw parts,
+// e.g. when parsed off the wire. The hash folds directly over the path
+// bytes — the same chain child() maintains incrementally — so no
+// intermediate scopeIDs or strings are built.
+func makeScopeID(group int, path string) scopeID {
+	h := hashutil.XXH64Uint64(uint64(group), 0x5C09E)
+	for i := 0; i < len(path); i++ {
+		h = hashutil.XXH64Uint64(h, uint64(path[i])+0x711D)
+	}
+	return scopeID{group: group, path: path, h: h}
+}
+
+// hash returns the scope's identity hash, used to derive scope-specific
+// hash seeds. It is precomputed at construction so per-round seed
+// derivation does not re-hash the split path.
+func (s scopeID) hash() uint64 { return s.h }
 
 // seeds bundles the derived hash seeds shared by both endpoints.
 type seeds struct {

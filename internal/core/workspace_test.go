@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pbs/internal/hashutil"
+	"pbs/internal/workload"
+)
+
+// TestScopeHashMatchesReference pins the cached scope hash to the
+// original path-walk definition, for every construction route.
+func TestScopeHashMatchesReference(t *testing.T) {
+	walk := func(group int, path string) uint64 {
+		h := hashutil.XXH64Uint64(uint64(group), 0x5C09E)
+		for i := 0; i < len(path); i++ {
+			h = hashutil.XXH64Uint64(h, uint64(path[i])+0x711D)
+		}
+		return h
+	}
+	for _, tc := range []struct {
+		group int
+		path  string
+	}{
+		{0, ""}, {7, ""}, {3, "0"}, {3, "2"}, {12, "012"}, {199, "221100"},
+	} {
+		if got := makeScopeID(tc.group, tc.path).hash(); got != walk(tc.group, tc.path) {
+			t.Errorf("makeScopeID(%d,%q).hash() = %#x, want %#x", tc.group, tc.path, got, walk(tc.group, tc.path))
+		}
+	}
+	// The incremental child() route must agree with the rebuild route.
+	id := newScopeID(5)
+	for _, c := range []int{2, 0, 1, 2, 2} {
+		id = id.child(c)
+		if rebuilt := makeScopeID(id.group, id.path); rebuilt != id {
+			t.Fatalf("child chain diverged from makeScopeID at path %q: %+v vs %+v", id.path, id, rebuilt)
+		}
+	}
+}
+
+// TestBobWorkspaceReuseDeterministic feeds Bob the same round message
+// repeatedly: the reply bytes must not depend on what his reused
+// per-worker workspaces (sketches, decoders, bin folds) processed before.
+func TestBobWorkspaceReuseDeterministic(t *testing.T) {
+	const d = 120
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 6000, D: d, Seed: 909})
+	for _, workers := range []int{1, 4} {
+		plan := planFor(t, d, 31)
+		plan.Parallelism = workers
+		alice, err := NewAlice(p.A, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bob, err := NewBob(p.B, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := alice.BuildRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := bob.HandleRound(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			again, err := bob.HandleRound(msg)
+			if err != nil {
+				t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+			}
+			if !bytes.Equal(first, again) {
+				t.Fatalf("workers=%d rep=%d: reply bytes changed across workspace reuse", workers, rep)
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuseLongSession drives a deliberately under-provisioned
+// parallel session (many rounds, many splits) so every layer of reused
+// scratch — Alice's sketch/bin-sum pools, Bob's per-worker decoders and
+// parse sketches — is exercised across shrinking and splitting scope
+// sets, then verifies the learned difference exactly. Run with -race this
+// doubles as the workspace race test under Parallelism > 1.
+func TestWorkspaceReuseLongSession(t *testing.T) {
+	const d = 400
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 9000, D: d, Seed: 404})
+	plan := planFor(t, d/20, 77) // severe underestimate forces splits
+	plan.Parallelism = 6
+	res, err := Reconcile(p.A, p.B, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("session did not complete")
+	}
+	if res.Stats.Rounds < 3 {
+		t.Fatalf("expected a multi-round session, got %d rounds", res.Stats.Rounds)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}

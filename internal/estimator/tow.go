@@ -21,8 +21,12 @@ const DefaultGamma = 1.38
 // ToW is a Tug-of-War set-difference-cardinality estimator with ℓ sketches.
 // Each sketch Y_f(S) = Σ_{s∈S} f(s) for a 4-wise independent ±1 hash f;
 // (Y_f(A) − Y_f(B))² is an unbiased estimator of |A△B| (§6.1, App. A).
+//
+// The ℓ hash functions are held in a structure-of-arrays bank so the
+// sketch update makes one pass over precomputed element powers instead of
+// ℓ independent Horner chains per element.
 type ToW struct {
-	hashes []hashutil.FourWise
+	bank *hashutil.FourWiseBank
 }
 
 // NewToW returns a ToW estimator with l sketches derived from seed. Both
@@ -31,12 +35,7 @@ func NewToW(l int, seed uint64) (*ToW, error) {
 	if l < 1 {
 		return nil, fmt.Errorf("estimator: sketch count l=%d must be >= 1", l)
 	}
-	seeds := hashutil.Seeds(seed, l)
-	hs := make([]hashutil.FourWise, l)
-	for i, s := range seeds {
-		hs[i] = hashutil.NewFourWise(s)
-	}
-	return &ToW{hashes: hs}, nil
+	return &ToW{bank: hashutil.NewFourWiseBank(hashutil.Seeds(seed, l))}, nil
 }
 
 // MustNewToW is like NewToW but panics on invalid parameters.
@@ -49,25 +48,31 @@ func MustNewToW(l int, seed uint64) *ToW {
 }
 
 // L returns the sketch count.
-func (t *ToW) L() int { return len(t.hashes) }
+func (t *ToW) L() int { return t.bank.Len() }
 
 // Sketch computes the ℓ ToW sketches of set.
 func (t *ToW) Sketch(set []uint64) []int64 {
-	ys := make([]int64, len(t.hashes))
-	for _, x := range set {
-		for i := range t.hashes {
-			ys[i] += t.hashes[i].Sign(x)
-		}
-	}
+	ys := make([]int64, t.L())
+	t.SketchInto(ys, set)
 	return ys
+}
+
+// SketchInto accumulates the ℓ ToW sketches of set into ys (length ℓ,
+// caller-zeroed), allocating nothing. Each element's hash powers are
+// computed once and shared by a single batched pass over all ℓ hash
+// functions.
+func (t *ToW) SketchInto(ys []int64, set []uint64) {
+	for _, x := range set {
+		t.bank.AddSigns(x, ys)
+	}
 }
 
 // Estimate combines the two parties' sketch vectors into the unbiased
 // estimate d̂ = (1/ℓ)·Σ (Y_i(A) − Y_i(B))².
 func (t *ToW) Estimate(ya, yb []int64) (float64, error) {
-	if len(ya) != len(t.hashes) || len(yb) != len(t.hashes) {
+	if len(ya) != t.L() || len(yb) != t.L() {
 		return 0, fmt.Errorf("estimator: sketch length mismatch (%d, %d; want %d)",
-			len(ya), len(yb), len(t.hashes))
+			len(ya), len(yb), t.L())
 	}
 	var sum float64
 	for i := range ya {
@@ -82,7 +87,7 @@ func (t *ToW) Estimate(ya, yb []int64) (float64, error) {
 // (§6.1). With ℓ = 128 and |S| = 10^6 this is the paper's 336 bytes.
 func (t *ToW) Bits(setSize int) int {
 	perSketch := int(math.Ceil(math.Log2(float64(2*setSize + 1))))
-	return len(t.hashes) * perSketch
+	return t.L() * perSketch
 }
 
 // ConservativeD scales the raw estimate by gamma and rounds up, yielding the

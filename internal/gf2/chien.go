@@ -1,0 +1,174 @@
+package gf2
+
+// Chien is a reusable workspace for incremental polynomial evaluation at
+// the successive points α^0, α^1, α^2, ... — the access pattern of a Chien
+// root search. For table-backed fields (m ≤ tableThreshold) each term
+// c_j·x^j is tracked in the log domain: advancing from α^i to α^(i+1)
+// multiplies term j by the fixed constant α^j, which is one modular
+// addition of j to the term's discrete log plus one antilog lookup. That
+// replaces the general-multiplication chain of a Horner evaluation with
+// per-term constant multiplies, and allocates nothing after the workspace
+// warms up.
+//
+// A Chien value is not safe for concurrent use; give each goroutine its
+// own workspace.
+type Chien struct {
+	f     *Field
+	c0    uint64   // constant coefficient, contributed verbatim to every point
+	logs  []uint64 // discrete log of term j's current value c_j·α^(i·j)
+	steps []uint64 // per-term log increment j (mod 2^m − 1)
+	acc   []uint64 // per-point accumulator for the transposed bulk scan
+}
+
+// Init prepares ws to evaluate the polynomial with coefficients p
+// (ascending degree order) at α^0, α^1, .... It reports false when the
+// field has no log tables (m > tableThreshold); callers must then fall
+// back to a different evaluation strategy. Zero coefficients cost nothing
+// per step.
+func (ws *Chien) Init(f *Field, p []uint64) bool {
+	if f.logT == nil {
+		return false
+	}
+	ws.f = f
+	ws.logs = ws.logs[:0]
+	ws.steps = ws.steps[:0]
+	ws.c0 = 0
+	if len(p) == 0 {
+		return true
+	}
+	ws.c0 = p[0]
+	for j := 1; j < len(p); j++ {
+		if p[j] == 0 {
+			continue
+		}
+		step := uint64(j) % f.ord
+		if step == 0 {
+			// x^j is identically 1 on the multiplicative group: the term
+			// is a constant and folds into c0.
+			ws.c0 ^= p[j]
+			continue
+		}
+		ws.logs = append(ws.logs, uint64(f.logT[p[j]]))
+		ws.steps = append(ws.steps, step)
+	}
+	return true
+}
+
+// Next returns p(α^i) for the i-th call since Init (starting at i = 0)
+// and advances the workspace to the next point.
+func (ws *Chien) Next() uint64 {
+	acc := ws.c0
+	f := ws.f
+	steps := ws.steps
+	for k, l := range ws.logs {
+		acc ^= f.expT[l]
+		l += steps[k]
+		if l >= f.ord {
+			l -= f.ord
+		}
+		ws.logs[k] = l
+	}
+	return acc
+}
+
+// chienAccLimit caps the group order for which the transposed bulk scan
+// keeps a per-point accumulator (128 KiB of workspace at the limit);
+// larger table fields fall back to the point-at-a-time loop.
+const chienAccLimit = 1 << 14
+
+// Zeros scans one full multiplicative-group cycle of points α^i starting
+// from the workspace's current position (α^0 right after Init), appending
+// to dst the step offsets i at which the polynomial evaluates to zero. It
+// returns once max zeros have been collected, and may leave the
+// incremental cursor in an unspecified position — call Init again before
+// reusing the workspace.
+//
+// For moderate group orders the scan runs transposed — term-major over a
+// per-point accumulator — so each term walks the antilog table with a
+// fixed stride and no cross-term dependency; the wraparound of each
+// stride is hoisted out of the inner loop, and the final term's pass is
+// fused with the zero test. This is markedly faster than evaluating
+// point by point.
+func (ws *Chien) Zeros(dst []uint64, max int) []uint64 {
+	if max <= 0 {
+		return dst
+	}
+	f := ws.f
+	expT := f.expT
+	ord := f.ord
+	if len(ws.logs) == 0 {
+		// Constant polynomial: zero everywhere or nowhere.
+		for i := uint64(0); ws.c0 == 0 && i < ord && len(dst) < max; i++ {
+			dst = append(dst, i)
+		}
+		return dst
+	}
+	if ord > chienAccLimit {
+		return ws.zerosByPoint(dst, max)
+	}
+	if uint64(cap(ws.acc)) < ord {
+		ws.acc = make([]uint64, ord)
+	}
+	n := int(ord)
+	acc := ws.acc[:n]
+	clear(acc)
+	last := len(ws.logs) - 1
+	for k := 0; k < last; k++ {
+		l := ws.logs[k]
+		j := ws.steps[k]
+		// Walk the antilog table in stride-j segments, reducing l only at
+		// each wraparound so the inner loop is branch-free.
+		for i := 0; i < n; {
+			end := i + int((ord-l+j-1)/j)
+			if end > n {
+				end = n
+			}
+			for ; i < end; i++ {
+				acc[i] ^= expT[l]
+				l += j
+			}
+			if l >= ord {
+				l -= ord
+			}
+		}
+	}
+	// Final term fused with the zero test: p(α^i) = 0 ⟺ Σ terms = c0.
+	c0 := ws.c0
+	l := ws.logs[last]
+	j := ws.steps[last]
+	for i := 0; i < n; {
+		end := i + int((ord-l+j-1)/j)
+		if end > n {
+			end = n
+		}
+		for ; i < end; i++ {
+			if acc[i]^expT[l] == c0 {
+				dst = append(dst, uint64(i))
+				if len(dst) >= max {
+					return dst
+				}
+			}
+			l += j
+		}
+		if l >= ord {
+			l -= ord
+		}
+	}
+	return dst
+}
+
+// zerosByPoint is the point-at-a-time variant of Zeros used when the
+// group order would make the transposed accumulator too large. It
+// advances the workspace past the points it consumes.
+func (ws *Chien) zerosByPoint(dst []uint64, max int) []uint64 {
+	ord := ws.f.ord
+	for i := uint64(0); i < ord; i++ {
+		if ws.Next() == 0 {
+			dst = append(dst, i)
+			if len(dst) >= max {
+				break
+			}
+		}
+	}
+	return dst
+}

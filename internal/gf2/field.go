@@ -272,6 +272,19 @@ func (f *Field) Trace(a uint64) uint64 {
 	return t
 }
 
+// HalfTrace returns the half-trace H(a) = Σ_{i=0}^{(m−1)/2} a^(2^(2i)) of
+// odd-degree fields. Whenever Tr(a) = 0 it is a solution y of the Artin–
+// Schreier equation y² + y = a (the other solution is y + 1), which gives
+// closed-form roots for quadratics in characteristic 2. It must only be
+// called on fields of odd degree m.
+func (f *Field) HalfTrace(a uint64) uint64 {
+	h := a
+	for i := uint(0); i < (f.m-1)/2; i++ {
+		h = f.Sqr(f.Sqr(h)) ^ a
+	}
+	return h
+}
+
 // MulWindow precomputes a 16-entry carry-less multiplication window for the
 // fixed multiplicand a, enabling repeated multiplications by a at roughly
 // half the cost of Mul on the table-less path. On the table path it simply
@@ -282,9 +295,11 @@ type MulWindow struct {
 	tab [16]uint64
 }
 
-// Window returns a MulWindow for repeated multiplication by a.
-func (f *Field) Window(a uint64) *MulWindow {
-	w := &MulWindow{f: f, a: a}
+// Window returns a MulWindow for repeated multiplication by a. It is
+// returned by value so hot paths can keep the window on the stack instead
+// of allocating per multiplicand.
+func (f *Field) Window(a uint64) MulWindow {
+	w := MulWindow{f: f, a: a}
 	if f.logT == nil {
 		for i := 1; i < 16; i++ {
 			w.tab[i] = clmul(a, uint64(i))

@@ -45,23 +45,37 @@ func (p Poly) Eval(f *Field, x uint64) uint64 {
 
 // PolyAdd returns a + b (coefficient-wise XOR).
 func PolyAdd(a, b Poly) Poly {
+	return PolyAddInto(a, b, nil)
+}
+
+// PolyAddInto computes a + b into dst's backing array, growing it only
+// when too small, and returns the normalized result. dst must not alias
+// a or b.
+func PolyAddInto(a, b, dst Poly) Poly {
 	if len(a) < len(b) {
 		a, b = b, a
 	}
-	r := make(Poly, len(a))
-	copy(r, a)
+	dst = growPoly(dst, len(a))
+	copy(dst, a)
 	for i := range b {
-		r[i] ^= b[i]
+		dst[i] ^= b[i]
 	}
-	return r.normalize()
+	return dst.normalize()
 }
 
 // PolyMul returns a * b over the field f.
 func PolyMul(f *Field, a, b Poly) Poly {
+	return PolyMulInto(f, a, b, nil)
+}
+
+// PolyMulInto computes a * b into dst's backing array, growing it only
+// when too small, and returns the normalized result. dst must not alias
+// a or b.
+func PolyMulInto(f *Field, a, b, dst Poly) Poly {
 	if a.IsZero() || b.IsZero() {
-		return nil
+		return dst[:0]
 	}
-	r := make(Poly, len(a)+len(b)-1)
+	dst = growPoly(dst, len(a)+len(b)-1)
 	for i, ai := range a {
 		if ai == 0 {
 			continue
@@ -69,11 +83,22 @@ func PolyMul(f *Field, a, b Poly) Poly {
 		w := f.Window(ai)
 		for j, bj := range b {
 			if bj != 0 {
-				r[i+j] ^= w.Mul(bj)
+				dst[i+j] ^= w.Mul(bj)
 			}
 		}
 	}
-	return r.normalize()
+	return dst.normalize()
+}
+
+// growPoly resizes dst to n coefficients, all zero, reusing its backing
+// array when large enough.
+func growPoly(dst Poly, n int) Poly {
+	if cap(dst) < n {
+		return make(Poly, n)
+	}
+	dst = dst[:n]
+	clear(dst)
+	return dst
 }
 
 // PolyMod returns a mod b over the field f. It panics if b is zero.

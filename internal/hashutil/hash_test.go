@@ -8,6 +8,73 @@ import (
 	"testing/quick"
 )
 
+// TestFourWiseBankMatchesScalar pins the batched evaluation to the scalar
+// FourWise path bit for bit: identical seeds must yield identical signs
+// for arbitrary inputs, including the x ≥ 2^61−1 wrap cases.
+func TestFourWiseBankMatchesScalar(t *testing.T) {
+	seeds := Seeds(0xFEED, 64)
+	bank := NewFourWiseBank(seeds)
+	scalar := make([]FourWise, len(seeds))
+	for i, s := range seeds {
+		scalar[i] = NewFourWise(s)
+	}
+	rng := rand.New(rand.NewSource(55))
+	inputs := []uint64{0, 1, 2, mersenne61 - 1, mersenne61, mersenne61 + 1, ^uint64(0)}
+	for i := 0; i < 200; i++ {
+		inputs = append(inputs, rng.Uint64())
+	}
+	for _, x := range inputs {
+		got := make([]int64, bank.Len())
+		bank.AddSigns(x, got)
+		for i := range scalar {
+			if want := scalar[i].Sign(x); got[i] != want {
+				t.Fatalf("x=%#x hash %d: bank sign %d, scalar sign %d", x, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestFourWiseBankAccumulates checks that AddSigns adds rather than
+// overwrites, the contract the sketch loop relies on.
+func TestFourWiseBankAccumulates(t *testing.T) {
+	bank := NewFourWiseBank(Seeds(9, 8))
+	once := make([]int64, bank.Len())
+	bank.AddSigns(12345, once)
+	twice := make([]int64, bank.Len())
+	bank.AddSigns(12345, twice)
+	bank.AddSigns(12345, twice)
+	for i := range once {
+		if twice[i] != 2*once[i] {
+			t.Fatalf("slot %d: %d after two adds, want %d", i, twice[i], 2*once[i])
+		}
+	}
+}
+
+func BenchmarkFourWiseScalar128(b *testing.B) {
+	seeds := Seeds(1, 128)
+	hs := make([]FourWise, len(seeds))
+	for i, s := range seeds {
+		hs[i] = NewFourWise(s)
+	}
+	ys := make([]int64, len(hs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := uint64(i)*0x9E3779B97F4A7C15 + 1
+		for j := range hs {
+			ys[j] += hs[j].Sign(x)
+		}
+	}
+}
+
+func BenchmarkFourWiseBank128(b *testing.B) {
+	bank := NewFourWiseBank(Seeds(1, 128))
+	ys := make([]int64, bank.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.AddSigns(uint64(i)*0x9E3779B97F4A7C15+1, ys)
+	}
+}
+
 // Known-answer tests from the xxHash64 reference implementation.
 func TestXXH64KnownAnswers(t *testing.T) {
 	cases := []struct {

@@ -71,7 +71,7 @@ func Plain(a, b []uint64, t int, sigBits uint) (*Result, error) {
 	}
 	res := &Result{CommBits: t*32 + 32, Rounds: 1, EncodeTime: time.Since(encStart)}
 	decStart := time.Now()
-	diff, derr := sa.Decode()
+	diff, derr := sa.DecodeInto(bch.NewDecoder(), nil)
 	res.DecodeTime = time.Since(decStart)
 	if derr != nil {
 		return res, nil // decode failure: incomplete, reported truthfully
@@ -139,16 +139,21 @@ func WP(a, b []uint64, cfg WPConfig) (*Result, error) {
 	}
 	res := &Result{}
 	var diff []uint64
+	// One pair of sketches and one decode workspace serve every scope of
+	// every round — the same steady-state reuse as the PBS engine.
+	sa := bch.MustNew(32, cfg.T)
+	sb := bch.MustNew(32, cfg.T)
+	ws := bch.NewDecoder()
 	for round := 1; round <= maxRounds && len(active) > 0; round++ {
 		res.Rounds = round
 		var next []scope
 		for _, sc := range active {
 			encStart := time.Now()
-			sa := bch.MustNew(32, cfg.T)
+			sa.Reset()
 			for _, x := range sc.av {
 				sa.Add(x)
 			}
-			sb := bch.MustNew(32, cfg.T)
+			sb.Reset()
 			for _, x := range sc.bv {
 				sb.Add(x)
 			}
@@ -160,9 +165,18 @@ func WP(a, b []uint64, cfg WPConfig) (*Result, error) {
 			}
 			res.EncodeTime += time.Since(encStart)
 			decStart := time.Now()
-			d, derr := sa.Decode()
-			if derr == nil && !checksumOK(sc.av, sc.bv, d, cfg.SigBits) {
-				derr = bch.ErrDecodeFailure // miscorrection caught by checksum
+			// Decode appends this scope's recovered elements directly onto
+			// the accumulated difference; roll back on failure.
+			start := len(diff)
+			grownDiff, derr := sa.DecodeInto(ws, diff)
+			var d []uint64
+			if derr == nil {
+				diff = grownDiff
+				d = diff[start:]
+				if !checksumOK(sc.av, sc.bv, d, cfg.SigBits) {
+					derr = bch.ErrDecodeFailure // miscorrection caught by checksum
+					diff = diff[:start]
+				}
 			}
 			res.DecodeTime += time.Since(decStart)
 			if derr != nil {
@@ -179,7 +193,6 @@ func WP(a, b []uint64, cfg WPConfig) (*Result, error) {
 				}
 				continue
 			}
-			diff = append(diff, d...)
 		}
 		active = next
 	}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench_decode.sh — run the BCH decode-kernel benchmarks and emit
+# machine-readable results to BENCH_decode.json.
+#
+# Usage:
+#   scripts/bench_decode.sh [benchtime]
+#
+# benchtime is passed to `go test -benchtime` (default 1s; CI smoke uses
+# 1x). The JSON is an array of objects:
+#   {"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"}
+# covering both the workspace kernel (BenchmarkDecodeKernel) and the
+# preserved pre-workspace baseline (BenchmarkDecodeKernelReference), so
+# the speedup and the 0 allocs/op contract are checkable by tooling.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+out="BENCH_decode.json"
+
+raw="$(go test -run '^$' -bench 'BenchmarkDecodeKernel' -benchmem \
+	-benchtime "$benchtime" ./internal/bch/)"
+
+echo "$raw" | awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+	# BenchmarkDecodeKernel/d=1000-8  30  3100255 ns/op  0 B/op  0 allocs/op
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, $2, $3, $5, $7
+}
+END { if (n) printf "\n"; print "]" }
+' >"$out"
+
+echo "wrote $out:" >&2
+cat "$out"
