@@ -54,32 +54,32 @@ func (b *Bob) EncodeTime() time.Duration { return b.encodeTime }
 // DecodeTime returns the cumulative time Bob spent in BCH decoding.
 func (b *Bob) DecodeTime() time.Duration { return b.decodeTime }
 
-// NewBob creates the Bob endpoint for the given set under plan.
+// NewBob creates the Bob endpoint for the given set under plan. It is the
+// single-session path over the same machinery a server shares: a private
+// Snapshot validated and partitioned for this one plan.
 func NewBob(set []uint64, plan Plan) (*Bob, error) {
 	if err := plan.validate(); err != nil {
 		return nil, err
 	}
-	b := &Bob{
+	snap, err := NewSnapshot(set, Config{SigBits: plan.SigBits, Seed: plan.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return NewBobFromSnapshot(snap, plan)
+}
+
+// newBobWithGroups builds a Bob around an already validated and
+// partitioned element set. The group slices are only ever read, so they
+// may be shared (see Snapshot).
+func newBobWithGroups(groups [][]uint64, plan Plan) *Bob {
+	return &Bob{
 		plan:      plan,
 		sd:        deriveSeeds(plan.Seed),
 		sigMask:   sigMask(plan.SigBits),
-		groups:    make([][]uint64, plan.Groups),
+		groups:    groups,
 		scopeSets: make(map[scopeID][]uint64),
 		checksums: make(map[scopeID]uint64),
 	}
-	seen := make(map[uint64]struct{}, len(set))
-	for _, x := range set {
-		if x == 0 || x&^b.sigMask != 0 {
-			return nil, fmt.Errorf("core: element %#x outside %d-bit universe (0 excluded)", x, plan.SigBits)
-		}
-		if _, dup := seen[x]; dup {
-			return nil, fmt.Errorf("core: duplicate element %#x", x)
-		}
-		seen[x] = struct{}{}
-		g := b.sd.groupOf(x, plan.Groups)
-		b.groups[g] = append(b.groups[g], x)
-	}
-	return b, nil
 }
 
 // PayloadBits returns the cumulative protocol-payload bits Bob has sent

@@ -20,7 +20,7 @@ func traceSession(t *testing.T, a, b []uint64, plan Plan) (msgs, replies [][]byt
 	if err != nil {
 		t.Fatal(err)
 	}
-	for round := 0; round < safetyRoundCap && !alice.Done(); round++ {
+	for round := 0; round < DefaultMaxRounds && !alice.Done(); round++ {
 		msg, err := alice.BuildRound()
 		if err != nil {
 			t.Fatal(err)

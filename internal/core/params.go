@@ -33,6 +33,15 @@ const (
 	DefaultSigBits       = 32   // signature length log|U| (§8)
 )
 
+// DefaultMaxRounds is the round cap applied when Config.MaxRounds asks for
+// an "unlimited" session (<= 0). PBS converges in a handful of rounds with
+// overwhelming probability — the paper's round budget r is 3 — so reaching
+// 64 indicates a bug or an adversarial peer rather than bad luck.
+// NewPlan resolves the cap here once, so the in-process driver, the wire
+// protocol, and the server all share the same bound instead of each
+// hard-coding its own fallback.
+const DefaultMaxRounds = 64
+
 // Config describes the tunables a caller may set; zero values select the
 // paper defaults.
 type Config struct {
@@ -49,7 +58,9 @@ type Config struct {
 	// Seed derives every hash function used in the protocol. Both parties
 	// must use the same seed.
 	Seed uint64
-	// MaxRounds caps protocol rounds; 0 means "run until reconciled".
+	// MaxRounds caps protocol rounds; <= 0 selects DefaultMaxRounds,
+	// which in practice means "run until reconciled" — PBS converges in
+	// a few rounds with overwhelming probability.
 	MaxRounds int
 	// Parallelism is the worker count for per-group encoding and decoding.
 	// 0 selects GOMAXPROCS; 1 forces the sequential reference path. It is a
@@ -82,7 +93,7 @@ type Plan struct {
 	T         int    // BCH error-correction capacity per group pair
 	Groups    int    // g, number of group pairs
 	Delta     int    // δ used to derive Groups
-	MaxRounds int    // 0 = unlimited
+	MaxRounds int    // round cap; NewPlan resolves <= 0 to DefaultMaxRounds
 	SigBits   uint   // log|U|
 	Seed      uint64 // master hash seed
 
@@ -123,12 +134,16 @@ func NewPlan(d int, cfg Config) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
 	plan := Plan{
 		M:           params.M,
 		T:           params.T,
 		Groups:      markov.NumGroups(d, cfg.Delta),
 		Delta:       cfg.Delta,
-		MaxRounds:   cfg.MaxRounds,
+		MaxRounds:   maxRounds,
 		SigBits:     cfg.SigBits,
 		Seed:        cfg.Seed,
 		Parallelism: cfg.Parallelism,

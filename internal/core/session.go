@@ -57,11 +57,6 @@ type Result struct {
 	Stats    Stats
 }
 
-// safetyRoundCap bounds "unlimited" sessions; PBS converges in a handful
-// of rounds with overwhelming probability, so hitting this indicates a bug
-// (or adversarial inputs) rather than bad luck.
-const safetyRoundCap = 64
-
 // Reconcile runs the full multi-round PBS session between in-process
 // endpoints for sets a and b under plan, and returns Alice's learned
 // difference plus communication statistics. MaxRounds from the plan caps
@@ -79,11 +74,13 @@ func Reconcile(a, b []uint64, plan Plan) (*Result, error) {
 }
 
 // Drive runs rounds between existing endpoints until Alice is done or the
-// round budget is exhausted. maxRounds <= 0 means unlimited (safety-capped).
+// round budget is exhausted. maxRounds <= 0 means unlimited, which (like
+// every plan NewPlan derives) is capped at DefaultMaxRounds; hand-built
+// budgets beyond that cap are clamped to it as well.
 func Drive(alice *Alice, bob *Bob, maxRounds int) (*Result, error) {
 	cap := maxRounds
-	if cap <= 0 || cap > safetyRoundCap {
-		cap = safetyRoundCap
+	if cap <= 0 || cap > DefaultMaxRounds {
+		cap = DefaultMaxRounds
 	}
 	var st Stats
 	for round := 0; round < cap && !alice.Done(); round++ {

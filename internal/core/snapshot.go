@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Snapshot is an immutable, pre-validated view of one party's set, built
+// once and shared by any number of concurrent endpoints. A server holding
+// a large set and answering thousands of reconciliation sessions pays the
+// O(|S|) validation (zero/range/duplicate checks) a single time, and the
+// per-plan group partition is computed once per distinct group count and
+// then shared read-only — instead of every session re-validating and
+// re-partitioning a private copy as NewBob does.
+//
+// All methods are safe for concurrent use. The element slices handed out
+// are shared: callers (including Bob endpoints built from the snapshot)
+// must treat them as read-only, which they do — the protocol only ever
+// reads group subsets and re-partitions them into freshly allocated child
+// slices.
+type Snapshot struct {
+	elems   []uint64
+	sigBits uint
+	seed    uint64
+	sd      seeds
+
+	mu    sync.Mutex
+	parts map[int][][]uint64 // group count -> partition, lazily cached
+}
+
+// NewSnapshot validates set once under cfg (only SigBits and Seed are
+// consulted; zero values select the defaults, as in NewPlan) and returns a
+// shareable snapshot. Elements must be nonzero, distinct, and fit in
+// SigBits bits — the same contract NewAlice and NewBob enforce.
+func NewSnapshot(set []uint64, cfg Config) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SigBits < 8 || cfg.SigBits > 64 {
+		return nil, fmt.Errorf("core: sigBits=%d out of range [8,64]", cfg.SigBits)
+	}
+	mask := sigMask(cfg.SigBits)
+	seen := make(map[uint64]struct{}, len(set))
+	elems := make([]uint64, 0, len(set))
+	for _, x := range set {
+		if x == 0 || x&^mask != 0 {
+			return nil, fmt.Errorf("core: element %#x outside %d-bit universe (0 excluded)", x, cfg.SigBits)
+		}
+		if _, dup := seen[x]; dup {
+			return nil, fmt.Errorf("core: duplicate element %#x", x)
+		}
+		seen[x] = struct{}{}
+		elems = append(elems, x)
+	}
+	return &Snapshot{
+		elems:   elems,
+		sigBits: cfg.SigBits,
+		seed:    cfg.Seed,
+		sd:      deriveSeeds(cfg.Seed),
+		parts:   make(map[int][][]uint64),
+	}, nil
+}
+
+// Len returns the number of elements in the snapshot.
+func (s *Snapshot) Len() int { return len(s.elems) }
+
+// SigBits returns the signature width the snapshot was validated against.
+func (s *Snapshot) SigBits() uint { return s.sigBits }
+
+// Seed returns the master hash seed the snapshot partitions under.
+func (s *Snapshot) Seed() uint64 { return s.seed }
+
+// Elements returns the validated element slice. It is shared, not copied:
+// the caller must not modify it.
+func (s *Snapshot) Elements() []uint64 { return s.elems }
+
+// maxCachedPartitions bounds Snapshot.parts. The group count is derived
+// from the peer-influenced d̂, so an unbounded cache would let a hostile
+// client grow server memory by forging a different estimate per session;
+// honest traffic clusters around a handful of group counts, which all fit.
+// At the cap an arbitrary entry is evicted, so forged estimates can at
+// worst force recomputation — per-session O(|S|), exactly like NewBob —
+// never unbounded growth or a poisoned cache.
+const maxCachedPartitions = 8
+
+// cacheableGroups bounds the size of an individual cached partition: a
+// partition costs O(groups) slice headers regardless of |S|, so caching a
+// forged-estimate partition with groups ≫ |S| would pin megabytes of
+// mostly-empty headers per cache slot. Such partitions are still computed
+// and returned — the allocation is transient and GC-reclaimed with the
+// session — just never retained.
+func (s *Snapshot) cacheableGroups(groups int) bool {
+	return groups <= 4*len(s.elems)+64
+}
+
+// partition returns the elements hash-partitioned into groups buckets,
+// caching up to maxCachedPartitions distinct group counts. The partition
+// is computed outside the lock so concurrent sessions are never serialized
+// behind an O(|S|) pass (two sessions may race to compute the same
+// partition; either result is valid and one wins the cache slot). The
+// returned slices are shared across callers and must be treated as
+// read-only.
+func (s *Snapshot) partition(groups int) [][]uint64 {
+	s.mu.Lock()
+	if p, ok := s.parts[groups]; ok {
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+
+	p := make([][]uint64, groups)
+	for _, x := range s.elems {
+		g := s.sd.groupOf(x, groups)
+		p[g] = append(p[g], x)
+	}
+
+	if !s.cacheableGroups(groups) {
+		return p
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.parts[groups]; ok {
+		return cached
+	}
+	if len(s.parts) >= maxCachedPartitions {
+		for k := range s.parts {
+			delete(s.parts, k)
+			break
+		}
+	}
+	s.parts[groups] = p
+	return p
+}
+
+// NewBobFromSnapshot creates a Bob endpoint that reconciles against the
+// shared snapshot without copying or re-validating it. The plan's Seed and
+// SigBits must match the snapshot's — the partition is derived from them —
+// while the rest of the plan (bitmap size, capacity, groups) may vary per
+// session, as it does when each session's plan is derived from its own d̂.
+func NewBobFromSnapshot(snap *Snapshot, plan Plan) (*Bob, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	if plan.Seed != snap.seed {
+		return nil, fmt.Errorf("core: plan seed %#x does not match snapshot seed %#x", plan.Seed, snap.seed)
+	}
+	if plan.SigBits != snap.sigBits {
+		return nil, fmt.Errorf("core: plan sigBits %d does not match snapshot sigBits %d", plan.SigBits, snap.sigBits)
+	}
+	return newBobWithGroups(snap.partition(plan.Groups), plan), nil
+}

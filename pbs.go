@@ -20,8 +20,10 @@
 // parameter optimization via the paper's Markov-chain framework, and the
 // multi-round PBS protocol. For real deployments across a network, either
 // run the complete wire protocol with SyncInitiator/SyncResponder (see
-// examples/filesync) or drive NewInitiator/NewResponder endpoints over
-// your own transport (see examples/kvsync).
+// examples/filesync), drive NewInitiator/NewResponder endpoints over
+// your own transport (see examples/kvsync), or stand up a concurrent
+// Server that many Clients reconcile against over TCP (see
+// examples/serversync and cmd/pbs-serve).
 package pbs
 
 import (
@@ -46,8 +48,10 @@ type Options struct {
 	SigBits uint
 	// Seed makes the run deterministic; both parties must agree on it.
 	Seed uint64
-	// MaxRounds caps protocol rounds. 0 runs to completion (recommended:
-	// the checksum layer guarantees correctness whenever it terminates).
+	// MaxRounds caps protocol rounds. 0 selects the core.DefaultMaxRounds
+	// safety cap of 64, which in practice runs to completion — PBS
+	// converges in a few rounds, and the checksum layer guarantees
+	// correctness whenever it terminates.
 	MaxRounds int
 	// EstimatorSketches is the ToW sketch count ℓ (default 128).
 	EstimatorSketches int
@@ -55,6 +59,19 @@ type Options struct {
 	Gamma float64
 	// KnownD skips the estimator when > 0: the caller asserts |A△B| <= KnownD.
 	KnownD int
+	// MaxD caps the difference estimate d̂ a wire session will accept
+	// before deriving a Plan from it. The estimate is peer-influenced on
+	// both sides — the responder echoes the value it computed from the
+	// initiator's sketches, and hostile sketches can drive that value
+	// arbitrarily high — so without a cap a malicious peer forces an
+	// arbitrarily large Plan allocation. Sessions reject an over-limit d̂
+	// with a protocol error before any allocation. 0 selects DefaultMaxD
+	// (Server-driven responder sessions additionally tighten the default
+	// to 64·|S|+1024 when that is smaller, since their per-session
+	// allocation scales with d̂); negative lifts the cap to an effectively
+	// unlimited 2^62 (never do this on a server exposed to untrusted
+	// peers).
+	MaxD int
 	// StrongVerify adds a final multiset-hash verification exchange to
 	// SyncInitiator/SyncResponder sessions — the §2.2.3 hardening that
 	// pushes the false-verification probability to practically zero at the
@@ -68,6 +85,15 @@ type Options struct {
 	// different values, and the wire bytes are identical for every setting.
 	Parallelism int
 }
+
+// DefaultMaxD is the cap applied to the exchanged difference estimate d̂
+// when Options.MaxD is zero. It is derived from maxFrame: at the default
+// δ = 5 a plan for d differences emits first-round frames of a couple of
+// bytes per difference and allocates endpoint state proportional to d, so
+// an estimate within an order of magnitude of the 64 MiB frame limit could
+// never complete a round anyway — a d̂ beyond this bound marks a broken or
+// hostile peer, not a big reconciliation.
+const DefaultMaxD = maxFrame / 8
 
 func (o *Options) withDefaults() Options {
 	var opt Options
@@ -127,7 +153,7 @@ func Reconcile(local, remote []uint64, o *Options) (*Result, error) {
 	d := opt.KnownD
 	estBytes := 0
 	if d <= 0 {
-		tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+		tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
 		if err != nil {
 			return nil, err
 		}

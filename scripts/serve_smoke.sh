@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke-test the pbs-serve deployment pair end to end: start a server on
+# an OS-assigned port, run one client sync against it (the client checks
+# the learned difference against the workload ground truth), read the
+# metrics endpoint, then SIGTERM the server and require a clean exit with
+# the expected final stats line.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+bin="$tmp/pbs-serve"
+log="$tmp/serve.log"
+
+go build -o "$bin" ./cmd/pbs-serve
+
+"$bin" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+  -demo-size 50000 -demo-d 200 -demo-seed 1 >"$log" 2>&1 &
+srv=$!
+
+addr="" metrics=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.*serving .* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log")"
+  metrics="$(sed -n 's/.*metrics on http:\/\/\(127\.0\.0\.1:[0-9]*\)\/.*/\1/p' "$log")"
+  [ -n "$addr" ] && [ -n "$metrics" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ] || [ -z "$metrics" ]; then
+  cat "$log" >&2
+  echo "pbs-serve did not start" >&2
+  exit 1
+fi
+
+"$bin" -sync "$addr" -demo-size 50000 -demo-d 200 -demo-seed 1
+
+if command -v curl >/dev/null 2>&1; then
+  # The server accounts the session when it reads the client's closing
+  # msgDone, which can land a beat after the client process exits: poll.
+  ok=""
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$metrics/debug/vars" | grep -q '"Completed":1'; then
+      ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ -z "$ok" ]; then
+    echo "metrics endpoint missing the completed session" >&2
+    exit 1
+  fi
+fi
+
+kill -TERM "$srv"
+wait "$srv" # set -e: a non-zero server exit fails the smoke test
+
+grep -q 'done: 1 completed, 0 failed, 0 rejected' "$log" || {
+  cat "$log" >&2
+  echo "unexpected final server stats" >&2
+  exit 1
+}
+echo "pbs-serve smoke OK"

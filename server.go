@@ -1,0 +1,491 @@
+package pbs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbs/internal/core"
+)
+
+// Server answers reconciliation sessions concurrently over TCP (or any
+// net.Listener). It is the deployment shape the non-blocking session
+// engine exists for: every connection drives a ResponderSession against an
+// immutable SharedSet from the server's registry, so N concurrent sessions
+// share one validated snapshot of each set — one ToW sketch, one
+// strong-verification digest, one group partition per plan size — instead
+// of N private copies.
+//
+// A session manager enforces per-session limits on top of the engine's
+// own hardening (Options.MaxD): a cap on concurrent sessions, an idle
+// deadline per frame, a total byte budget per session, and a round
+// budget. Violations are reported to the client as a final msgError frame
+// before the connection closes, and counted in the server stats.
+//
+// Protocol: a client may open with a msgHello frame naming the registered
+// set to reconcile against; without one the session uses DefaultSetName.
+// Everything after that is the standard wire protocol of sync.go, so
+// SyncInitiator (via Client) talks to a Server unchanged.
+type Server struct {
+	opt ServerOptions
+
+	mu        sync.Mutex
+	sets      map[string]*SharedSet
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	// connCount gauges accepted connections (including ones still before
+	// their first frame) and backs the MaxSessions capacity check;
+	// sessActive gauges connections with a protocol session in flight and
+	// backs Stats().Active and Shutdown's drain, so an idle probe that
+	// never sends a frame cannot hold up a graceful shutdown.
+	connCount  atomic.Int64
+	sessActive atomic.Int64
+
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	rounds    atomic.Int64
+}
+
+// DefaultSetName is the registry entry a session reconciles against when
+// the client does not send a msgHello frame.
+const DefaultSetName = "default"
+
+// Defaults for the per-session limits of ServerOptions.
+const (
+	DefaultMaxSessions       = 1024
+	DefaultIdleTimeout       = 30 * time.Second
+	DefaultSessionByteBudget = 16 * maxFrame             // 1 GiB of frames per session
+	DefaultSessionMaxRounds  = 2 * core.DefaultMaxRounds // headroom over the engine's own cap
+)
+
+// ServerOptions configures a Server. The zero value serves with the
+// protocol defaults and the Default* session limits.
+type ServerOptions struct {
+	// Protocol is the protocol configuration every session runs under;
+	// clients must use identical protocol options (Seed, SigBits, sketch
+	// count, …). Its MaxD field is the d̂ cap the session engine enforces.
+	Protocol *Options
+
+	// MaxSessions caps concurrently open connections (each carries at
+	// most one session; the cap also shields the server from idle
+	// connection floods before a first frame arrives). Connections beyond
+	// the cap are rejected with msgError. 0 selects DefaultMaxSessions;
+	// negative removes the cap. Stats().Active reports only connections
+	// actually reconciling.
+	MaxSessions int
+	// IdleTimeout is the per-frame read deadline: a session that sends
+	// nothing for this long is dropped. 0 selects DefaultIdleTimeout;
+	// negative disables the deadline.
+	IdleTimeout time.Duration
+	// SessionByteBudget caps the total wire bytes (both directions) of one
+	// session. 0 selects DefaultSessionByteBudget; negative removes the cap.
+	SessionByteBudget int64
+	// SessionMaxRounds caps the msgRound frames answered in one session.
+	// 0 selects DefaultSessionMaxRounds; negative removes the cap.
+	SessionMaxRounds int
+}
+
+func (o ServerOptions) maxSessions() int64 {
+	if o.MaxSessions == 0 {
+		return DefaultMaxSessions
+	}
+	return int64(o.MaxSessions)
+}
+
+func (o ServerOptions) idleTimeout() time.Duration {
+	if o.IdleTimeout == 0 {
+		return DefaultIdleTimeout
+	}
+	return o.IdleTimeout
+}
+
+func (o ServerOptions) sessionByteBudget() int64 {
+	if o.SessionByteBudget == 0 {
+		return DefaultSessionByteBudget
+	}
+	return o.SessionByteBudget
+}
+
+func (o ServerOptions) sessionMaxRounds() int {
+	if o.SessionMaxRounds == 0 {
+		return DefaultSessionMaxRounds
+	}
+	return o.SessionMaxRounds
+}
+
+// ServerStats is a point-in-time snapshot of a Server's counters, fit for
+// an expvar.Func or a metrics endpoint.
+type ServerStats struct {
+	Active    int64 // sessions currently reconciling
+	Accepted  int64 // connections admitted past the capacity check (includes probes that never start a session)
+	Completed int64 // sessions ended by the initiator's msgDone
+	Failed    int64 // sessions ended by an error, limit, or disconnect
+	Rejected  int64 // connections turned away at the capacity check or during shutdown
+	BytesIn   int64 // wire bytes read across all sessions
+	BytesOut  int64 // wire bytes written across all sessions
+	Rounds    int64 // protocol rounds answered in completed sessions
+}
+
+// NewServer returns a Server with an empty set registry. Register at least
+// one set (typically DefaultSetName) before calling Serve.
+func NewServer(opt ServerOptions) *Server {
+	return &Server{
+		opt:       opt,
+		sets:      make(map[string]*SharedSet),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Register validates set once and publishes it under name. Re-registering
+// a name swaps the snapshot atomically: sessions already in flight keep
+// reconciling against the snapshot they started with, new sessions see the
+// new one.
+func (s *Server) Register(name string, set []uint64) error {
+	ss, err := NewSharedSet(set, s.opt.Protocol)
+	if err != nil {
+		return err
+	}
+	return s.RegisterShared(name, ss)
+}
+
+// RegisterShared publishes an already prepared SharedSet under name.
+// Sessions run under the shared set's own options, so those must agree
+// with the server's protocol options on every field that parameterizes
+// the exchange — a mismatch (e.g. a SharedSet built with a different
+// seed) would produce baffling mid-protocol failures, so it is rejected
+// here at registration time instead.
+func (s *Server) RegisterShared(name string, ss *SharedSet) error {
+	want := s.opt.Protocol.withDefaults()
+	got := ss.opt
+	switch {
+	case got.Seed != want.Seed:
+		return fmt.Errorf("pbs: shared set seed %#x does not match server seed %#x", got.Seed, want.Seed)
+	case got.EstimatorSketches != want.EstimatorSketches:
+		return fmt.Errorf("pbs: shared set sketch count %d does not match server %d", got.EstimatorSketches, want.EstimatorSketches)
+	case got.Gamma != want.Gamma:
+		return fmt.Errorf("pbs: shared set gamma %v does not match server %v", got.Gamma, want.Gamma)
+	case got.Delta != want.Delta || got.TargetRounds != want.TargetRounds ||
+		got.TargetSuccess != want.TargetSuccess || got.SigBits != want.SigBits:
+		return fmt.Errorf("pbs: shared set plan parameters do not match the server's")
+	case got.MaxD != want.MaxD:
+		return fmt.Errorf("pbs: shared set MaxD %d does not match server MaxD %d", got.MaxD, want.MaxD)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets[name] = ss
+	return nil
+}
+
+// startSession resolves name and admits a new responder session. The
+// shutdown check, the registry lookup, and the sessActive increment happen
+// under one lock so Shutdown can never sample a clean drain while a
+// session is half-admitted. A nil session comes with the rejection reason
+// and whether it was a shutdown rejection (counted rejected, not failed).
+func (s *Server) startSession(name string) (sess *ResponderSession, reason string, shuttingDown bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "server shutting down", true
+	}
+	ss := s.sets[name]
+	if ss == nil {
+		return nil, fmt.Sprintf("unknown set %q", name), false
+	}
+	s.sessActive.Add(1)
+	return ss.newServerSession(), "", false
+}
+
+// admit starts a session against the named set, handling the rejection
+// accounting and client diagnostic when it cannot. A nil return means the
+// connection should close.
+func (s *Server) admit(conn net.Conn, name string) *ResponderSession {
+	sess, reason, shuttingDown := s.startSession(name)
+	if sess == nil {
+		if shuttingDown {
+			s.rejected.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		s.sendError(conn, reason)
+	}
+	return sess
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Active:    s.sessActive.Load(),
+		Accepted:  s.accepted.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Rejected:  s.rejected.Load(),
+		BytesIn:   s.bytesIn.Load(),
+		BytesOut:  s.bytesOut.Load(),
+		Rounds:    s.rounds.Load(),
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the server
+// is closed, spawning one frame pump per connection. It returns nil after
+// Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("pbs: serve on a closed server")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			// Transient accept failures (EMFILE under a connection flood,
+			// ECONNABORTED) must not turn into a permanent outage: retry
+			// with backoff, as net/http does.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				time.Sleep(backoff)
+				continue
+			}
+			return err
+		}
+		backoff = 0
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and tears down every open connection immediately.
+// For a drain-first stop, use Shutdown.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// Shutdown stops accepting new connections, waits up to timeout for
+// in-flight sessions to finish, then closes whatever remains. It reports
+// whether the drain completed before the deadline.
+func (s *Server) Shutdown(timeout time.Duration) bool {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for s.sessActive.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	drained := s.sessActive.Load() == 0
+	s.Close()
+	return drained
+}
+
+// sendError reports a session failure to the client as a final msgError
+// frame, on a short deadline so a stalled peer cannot pin the goroutine.
+// The connection usually still has unread frames from the client (e.g. the
+// estimate of a just-rejected session); closing with those pending would
+// RST the socket and can destroy the diagnostic before the client reads
+// it, so the write side is half-closed and the inbound leftovers drained
+// briefly first.
+func (s *Server) sendError(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	if err := writeFrame(conn, msgError, []byte(msg)); err != nil {
+		return
+	}
+	s.bytesOut.Add(int64(5 + len(msg)))
+	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+		cw.CloseWrite()
+	}
+	conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	io.Copy(io.Discard, io.LimitReader(conn, maxFrame))
+}
+
+// handle pumps frames between one connection and its ResponderSession,
+// enforcing the per-session limits.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	cur := s.connCount.Add(1)
+	defer s.connCount.Add(-1)
+	if max := s.opt.maxSessions(); max > 0 && cur > max {
+		s.rejected.Add(1)
+		s.sendError(conn, "server at session capacity")
+		return
+	}
+	s.accepted.Add(1)
+
+	var (
+		sess         *ResponderSession
+		sessionBytes int64
+		roundFrames  int
+	)
+	defer func() {
+		if sess != nil {
+			s.sessActive.Add(-1)
+		}
+	}()
+	fail := func(msg string) {
+		s.failed.Add(1)
+		s.sendError(conn, msg)
+	}
+	for {
+		if t := s.opt.idleTimeout(); t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
+		// Refuse frames whose declared size alone would bust the session's
+		// remaining byte budget — before reading (or holding) any payload.
+		limit := uint32(maxFrame)
+		if budget := s.opt.sessionByteBudget(); budget > 0 {
+			remain := budget - sessionBytes - 5
+			if remain < 0 {
+				remain = 0
+			}
+			if remain < int64(limit) {
+				limit = uint32(remain)
+			}
+		}
+		typ, payload, err := readFrameLimit(conn, limit)
+		if err != nil {
+			// A frame rejected on its declared size gets the diagnostic the
+			// client can act on; plain transport errors do not.
+			var fle *frameLimitError
+			if errors.As(err, &fle) {
+				if limit < maxFrame {
+					fail("session byte budget exceeded")
+				} else {
+					fail(err.Error())
+				}
+				return
+			}
+			// A connection that ends before its first frame — clean EOF,
+			// reset, or idle-deadline expiry alike — is a probe or a
+			// dial-and-abort, not a failed session.
+			if sess != nil || sessionBytes > 0 {
+				s.failed.Add(1)
+			}
+			return
+		}
+		n := int64(5 + len(payload))
+		sessionBytes += n
+		s.bytesIn.Add(n)
+		if budget := s.opt.sessionByteBudget(); budget > 0 && sessionBytes > budget {
+			fail("session byte budget exceeded")
+			return
+		}
+
+		if typ == msgHello {
+			if sess != nil {
+				fail("hello after session start")
+				return
+			}
+			if sess = s.admit(conn, string(payload)); sess == nil {
+				return
+			}
+			continue
+		}
+		if sess == nil {
+			if sess = s.admit(conn, DefaultSetName); sess == nil {
+				return
+			}
+		}
+		if typ == msgRound {
+			roundFrames++
+			if max := s.opt.sessionMaxRounds(); max > 0 && roundFrames > max {
+				fail("session round budget exceeded")
+				return
+			}
+		}
+
+		out, done, stepErr := sess.Step(typ, payload)
+		for _, f := range out {
+			// The idle deadline covers writes too: a client that stops
+			// reading must not pin this goroutine (and its session slot)
+			// in a blocked send forever.
+			if t := s.opt.idleTimeout(); t > 0 {
+				conn.SetWriteDeadline(time.Now().Add(t))
+			}
+			if werr := writeFrame(conn, f.Type, f.Payload); werr != nil {
+				if stepErr == nil {
+					stepErr = werr
+				}
+				break
+			}
+			wn := int64(5 + len(f.Payload))
+			sessionBytes += wn
+			s.bytesOut.Add(wn)
+		}
+		if stepErr == nil {
+			if budget := s.opt.sessionByteBudget(); budget > 0 && sessionBytes > budget {
+				fail("session byte budget exceeded")
+				return
+			}
+		}
+		if stepErr != nil {
+			fail(stepErr.Error())
+			return
+		}
+		if done {
+			// Only a session that actually started reconciling (answered
+			// an estimate) counts as completed; a probe that sends a bare
+			// msgDone must not inflate the success counter.
+			if sess.started() {
+				s.completed.Add(1)
+				s.rounds.Add(int64(sess.Rounds()))
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package pbs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"pbs/internal/core"
+	"pbs/internal/estimator"
+	"pbs/internal/msethash"
+)
+
+// This file holds the non-blocking session engine behind the wire protocol:
+// InitiatorSession and ResponderSession advance one received frame at a
+// time via Step, returning the frames to send back. SyncInitiator and
+// SyncResponder (sync.go) are thin blocking wrappers over these machines,
+// and the concurrent Server (server.go) drives many ResponderSessions
+// without dedicating a full protocol loop (or a private copy of the set)
+// to each connection.
+//
+// The engine also hardens the protocol against hostile peers: the
+// exchanged difference estimate d̂ is validated against Options.MaxD on
+// both sides before it can size a Plan, a mid-session re-estimate is
+// rejected instead of silently discarding reconciliation state, and every
+// parse rejects trailing bytes.
+
+// Frame is one protocol message: a type byte plus its payload. The wire
+// representation adds the 4-byte length prefix (see writeFrame).
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// Seed tweaks deriving the protocol's independent hash domains from the
+// shared Options.Seed. Both parties must apply identical tweaks, so every
+// call site uses these constants — changing one without the other side
+// silently breaks estimation or verification.
+const (
+	towSeedTweak    = 0x70E57 // Tug-of-War estimator hash bank
+	verifySeedTweak = 0x5EC   // §2.2.3 strong-verification multiset hash
+)
+
+// unexpectedType reports a frame of the wrong type, surfacing a peer's
+// msgError diagnostic verbatim when that is what arrived instead.
+func unexpectedType(want, got byte, payload []byte) error {
+	if got == msgError {
+		return fmt.Errorf("pbs: peer error: %s", payload)
+	}
+	return fmt.Errorf("pbs: expected message type %d, got %d", want, got)
+}
+
+// maxD resolves the effective cap on the exchanged difference estimate:
+// MaxD if positive, DefaultMaxD if zero, and an effectively unlimited 2^62
+// when negative (explicitly opting out of the guard).
+func (o Options) maxD() uint64 {
+	switch {
+	case o.MaxD > 0:
+		return uint64(o.MaxD)
+	case o.MaxD < 0:
+		return 1 << 62
+	default:
+		return DefaultMaxD
+	}
+}
+
+// boundEstimate converts a raw ToW estimate into the rounded d̂ the
+// protocol exchanges, rejecting the non-finite, negative, or over-limit
+// values a hostile peer's sketches can induce before they reach plan
+// derivation.
+func (o Options) boundEstimate(dhatF float64) (uint64, error) {
+	if math.IsNaN(dhatF) || dhatF < 0 {
+		return 0, fmt.Errorf("pbs: estimator produced unusable d̂ = %v", dhatF)
+	}
+	max := o.maxD()
+	if dhatF >= float64(max) {
+		return 0, fmt.Errorf("pbs: estimate d̂ = %.0f exceeds limit %d", dhatF, max)
+	}
+	return uint64(math.Round(dhatF)), nil
+}
+
+// InitiatorSession is the non-blocking initiator (Alice) state machine.
+// Construct it with NewInitiatorSession, send the returned opening frames,
+// then feed every frame received from the responder to Step and send
+// whatever it returns, until done.
+type InitiatorSession struct {
+	opt Options
+	set []uint64
+
+	state int
+	alice *core.Alice
+	plan  core.Plan
+
+	dhat          uint64
+	estBytes      int
+	rounds        int
+	aliceWireBits int
+	bobWireBits   int
+
+	res *Result
+}
+
+const (
+	initWantEstimateReply = iota
+	initWantRoundReply
+	initWantVerifyReply
+	initClosed
+)
+
+// NewInitiatorSession starts an initiator session for set and returns the
+// opening frames (the ToW estimate) to send to the responder.
+func NewInitiatorSession(set []uint64, o *Options) (*InitiatorSession, []Frame, error) {
+	opt := o.withDefaults()
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
+	if err != nil {
+		return nil, nil, err
+	}
+	est := encodeSketches(tow.Sketch(set))
+	s := &InitiatorSession{
+		opt:      opt,
+		set:      set,
+		state:    initWantEstimateReply,
+		estBytes: len(est),
+	}
+	return s, []Frame{{msgEstimate, est}}, nil
+}
+
+// Step advances the session with one frame received from the responder.
+// The returned frames must be sent to the peer even when err is non-nil
+// (a failed strong verification still closes the session with msgDone) —
+// so err must be checked even when done is true. When done is true and
+// err is nil the exchange succeeded and Result is valid; on error Result
+// returns nil.
+func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done bool, err error) {
+	switch s.state {
+	case initWantEstimateReply:
+		if typ != msgEstimateReply {
+			return nil, false, unexpectedType(msgEstimateReply, typ, payload)
+		}
+		dhat, k := binary.Uvarint(payload)
+		if k <= 0 {
+			return nil, false, fmt.Errorf("pbs: bad estimate reply")
+		}
+		if k != len(payload) {
+			return nil, false, fmt.Errorf("pbs: %d trailing bytes after estimate reply", len(payload)-k)
+		}
+		if max := s.opt.maxD(); dhat > max {
+			return nil, false, fmt.Errorf("pbs: peer estimate d̂ = %d exceeds limit %d", dhat, max)
+		}
+		s.dhat = dhat
+		s.estBytes += len(payload)
+		plan, err := syncPlan(dhat, s.opt)
+		if err != nil {
+			return nil, false, err
+		}
+		alice, err := core.NewAlice(s.set, plan)
+		if err != nil {
+			return nil, false, err
+		}
+		s.plan, s.alice = plan, alice
+		return s.advance()
+
+	case initWantRoundReply:
+		if typ != msgRoundReply {
+			return nil, false, unexpectedType(msgRoundReply, typ, payload)
+		}
+		if err := s.alice.AbsorbReply(payload); err != nil {
+			return nil, false, err
+		}
+		s.rounds++
+		s.bobWireBits += len(payload) * 8
+		return s.advance()
+
+	case initWantVerifyReply:
+		if typ != msgVerifyReply {
+			return nil, false, unexpectedType(msgVerifyReply, typ, payload)
+		}
+		theirs, ok := msethash.DigestFromBytes(payload)
+		if !ok {
+			return nil, false, fmt.Errorf("pbs: malformed verification digest")
+		}
+		s.state = initClosed
+		if s.expectedDigest() != theirs {
+			// The difference just failed verification: do not leave a
+			// Result claiming Complete=true reachable.
+			s.res = nil
+			return []Frame{{msgDone, nil}}, true, ErrVerificationFailed
+		}
+		return []Frame{{msgDone, nil}}, true, nil
+
+	default:
+		return nil, false, fmt.Errorf("pbs: step on a closed initiator session")
+	}
+}
+
+// advance builds the next round message, or wraps the session up when the
+// round budget is exhausted, reconciliation converged, or nothing is left
+// to ask.
+func (s *InitiatorSession) advance() ([]Frame, bool, error) {
+	if s.rounds < s.plan.MaxRounds && !s.alice.Done() {
+		msg, err := s.alice.BuildRound()
+		if err != nil {
+			return nil, false, err
+		}
+		if msg != nil {
+			s.aliceWireBits += len(msg) * 8
+			s.state = initWantRoundReply
+			return []Frame{{msgRound, msg}}, false, nil
+		}
+	}
+	return s.finish()
+}
+
+func (s *InitiatorSession) finish() ([]Frame, bool, error) {
+	s.res = &Result{
+		Difference: s.alice.Difference(),
+		Complete:   s.alice.Done(),
+		Rounds:     s.rounds,
+		EstimatedD: estimator.ConservativeD(float64(s.dhat), s.opt.Gamma),
+		// The initiator only knows its own payload bits exactly; the
+		// peer's contribution is included in WireBytes.
+		PayloadBytes:   (s.alice.PayloadBits() + 7) / 8,
+		WireBytes:      (s.aliceWireBits+s.bobWireBits)/8 + s.estBytes,
+		EstimatorBytes: s.estBytes,
+	}
+	if s.opt.StrongVerify && s.res.Complete {
+		s.state = initWantVerifyReply
+		return []Frame{{msgVerify, nil}}, false, nil
+	}
+	s.state = initClosed
+	return []Frame{{msgDone, nil}}, true, nil
+}
+
+// expectedDigest is the multiset-hash digest of what the responder's set
+// must be if the learned difference is right: the local set with the
+// difference toggled in (§2.2.3).
+func (s *InitiatorSession) expectedDigest() msethash.Digest {
+	h := msethash.New(s.opt.Seed ^ verifySeedTweak)
+	h.AddSet(s.set)
+	in := make(map[uint64]struct{}, len(s.set))
+	for _, x := range s.set {
+		in[x] = struct{}{}
+	}
+	for _, x := range s.res.Difference {
+		if _, present := in[x]; present {
+			h.Remove(x)
+		} else {
+			h.Add(x)
+		}
+	}
+	return h.Sum()
+}
+
+// Result returns the reconciliation outcome once Step has reported done
+// without an error; it is nil after a failed strong verification.
+func (s *InitiatorSession) Result() *Result { return s.res }
+
+// Rounds returns the number of completed round exchanges so far.
+func (s *InitiatorSession) Rounds() int { return s.rounds }
+
+// SharedSet is an immutable responder set prepared once and shared by any
+// number of concurrent ResponderSessions. Element validation, the
+// per-plan group partitions, the ToW sketch of the set, and the
+// strong-verification digest are each computed a single time instead of
+// per session — the difference between a server carrying N sessions and a
+// server carrying N copies of its set. All methods are safe for
+// concurrent use.
+type SharedSet struct {
+	opt  Options // defaults applied; every session inherits these
+	snap *core.Snapshot
+	tow  *estimator.ToW
+
+	sketchOnce sync.Once
+	sketch     []int64
+
+	digestOnce sync.Once
+	digest     msethash.Digest
+}
+
+// NewSharedSet validates set once under o and prepares it for concurrent
+// responder sessions.
+func NewSharedSet(set []uint64, o *Options) (*SharedSet, error) {
+	opt := o.withDefaults()
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := core.NewSnapshot(set, opt.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &SharedSet{opt: opt, snap: snap, tow: tow}, nil
+}
+
+// Len returns the number of elements in the set.
+func (ss *SharedSet) Len() int { return ss.snap.Len() }
+
+// towSketch returns the set's ToW sketch vector, computed on first use and
+// then shared read-only by every session.
+func (ss *SharedSet) towSketch() []int64 {
+	ss.sketchOnce.Do(func() { ss.sketch = ss.tow.Sketch(ss.snap.Elements()) })
+	return ss.sketch
+}
+
+// verifyDigest returns the §2.2.3 strong-verification digest of the set,
+// computed on first use.
+func (ss *SharedSet) verifyDigest() msethash.Digest {
+	ss.digestOnce.Do(func() {
+		h := msethash.New(ss.opt.Seed ^ verifySeedTweak)
+		h.AddSet(ss.snap.Elements())
+		ss.digest = h.Sum()
+	})
+	return ss.digest
+}
+
+// NewSession returns a responder session reconciling against the shared
+// set under the options the set was prepared with.
+func (ss *SharedSet) NewSession() *ResponderSession {
+	return &ResponderSession{opt: ss.opt, shared: ss}
+}
+
+// newServerSession is NewSession with the Server's untrusted-peer posture:
+// when MaxD was left at its default it is additionally tightened relative
+// to the set size, because the plan's group count (and hence the
+// responder's per-session allocation) scales with d̂ rather than |S| — a
+// forged estimate just under DefaultMaxD would otherwise cost a small-set
+// server tens of megabytes per session. Standalone SyncResponder peers
+// keep the plain default so asymmetric peer-to-peer reconciliation (tiny
+// local set, huge remote difference) still works; servers that need that
+// shape must set MaxD explicitly.
+func (ss *SharedSet) newServerSession() *ResponderSession {
+	opt := ss.opt
+	if opt.MaxD == 0 {
+		if cap := 64*ss.snap.Len() + 1024; cap < DefaultMaxD {
+			opt.MaxD = cap
+		}
+	}
+	return &ResponderSession{opt: opt, shared: ss}
+}
+
+// ResponderSession is the non-blocking responder (Bob) state machine: feed
+// every received frame to Step and send back whatever it returns. A
+// session serves exactly one initiator; a server shares one SharedSet
+// across many sessions.
+type ResponderSession struct {
+	opt    Options
+	shared *SharedSet
+	bob    *core.Bob
+	rounds int
+	closed bool
+}
+
+// NewResponderSession starts a standalone responder session for set. For
+// many concurrent sessions over one set, build a SharedSet once and use
+// its NewSession instead.
+func NewResponderSession(set []uint64, o *Options) (*ResponderSession, error) {
+	ss, err := NewSharedSet(set, o)
+	if err != nil {
+		return nil, err
+	}
+	return ss.NewSession(), nil
+}
+
+// Step advances the session with one frame received from the initiator.
+// When done is true the initiator has closed the session.
+func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done bool, err error) {
+	if s.closed {
+		return nil, true, fmt.Errorf("pbs: step on a closed responder session")
+	}
+	switch typ {
+	case msgEstimate:
+		if s.bob != nil {
+			// A mid-session re-estimate would silently discard all
+			// reconciliation state; treat it as the protocol violation it is.
+			return nil, false, fmt.Errorf("pbs: duplicate estimate in one session")
+		}
+		theirs, err := decodeSketches(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(theirs) != s.opt.EstimatorSketches {
+			return nil, false, fmt.Errorf("pbs: peer sent %d sketches, want %d", len(theirs), s.opt.EstimatorSketches)
+		}
+		dhatF, err := s.shared.tow.Estimate(theirs, s.shared.towSketch())
+		if err != nil {
+			return nil, false, err
+		}
+		dhat, err := s.opt.boundEstimate(dhatF)
+		if err != nil {
+			return nil, false, err
+		}
+		plan, err := syncPlan(dhat, s.opt)
+		if err != nil {
+			return nil, false, err
+		}
+		bob, err := core.NewBobFromSnapshot(s.shared.snap, plan)
+		if err != nil {
+			return nil, false, err
+		}
+		s.bob = bob
+		return []Frame{{msgEstimateReply, binary.AppendUvarint(nil, dhat)}}, false, nil
+
+	case msgRound:
+		if s.bob == nil {
+			return nil, false, fmt.Errorf("pbs: round before estimation")
+		}
+		reply, err := s.bob.HandleRound(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		s.rounds++
+		return []Frame{{msgRoundReply, reply}}, false, nil
+
+	case msgVerify:
+		return []Frame{{msgVerifyReply, s.shared.verifyDigest().Bytes()}}, false, nil
+
+	case msgDone:
+		s.closed = true
+		return nil, true, nil
+
+	case msgError:
+		return nil, false, fmt.Errorf("pbs: peer error: %s", payload)
+
+	default:
+		return nil, false, fmt.Errorf("pbs: unexpected message type %d", typ)
+	}
+}
+
+// Rounds returns the number of rounds answered so far.
+func (s *ResponderSession) Rounds() int { return s.rounds }
+
+// started reports whether the session has answered an estimate — i.e.
+// reconciliation actually began, as opposed to a probe that only opened
+// and closed the session.
+func (s *ResponderSession) started() bool { return s.bob != nil }

@@ -1,0 +1,184 @@
+package pbs
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"pbs/internal/workload"
+)
+
+// teeRW records everything one endpoint writes, so the wire stream of the
+// blocking wrappers can be compared against the session engine's frames.
+type teeRW struct {
+	io.ReadWriter
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (t *teeRW) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	t.buf.Write(p)
+	t.mu.Unlock()
+	return t.ReadWriter.Write(p)
+}
+
+func (t *teeRW) bytes() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]byte(nil), t.buf.Bytes()...)
+}
+
+// frameBytes serializes frames the way the wire does.
+func frameBytes(frames []Frame) []byte {
+	var buf bytes.Buffer
+	for _, f := range frames {
+		writeFrame(&buf, f.Type, f.Payload)
+	}
+	return buf.Bytes()
+}
+
+// TestSessionEngineWireEquivalence drives the same reconciliation twice —
+// once through the blocking SyncInitiator/SyncResponder wrappers over a
+// pipe, once by stepping InitiatorSession/ResponderSession directly — and
+// requires byte-identical streams in both directions plus identical
+// results. This is the refactor's contract: the engine IS the protocol,
+// the wrappers only move frames.
+func TestSessionEngineWireEquivalence(t *testing.T) {
+	for _, strong := range []bool{false, true} {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 80, Seed: 51})
+		opt := &Options{Seed: 52, StrongVerify: strong}
+
+		// Blocking wrappers over net.Pipe, with both write sides recorded.
+		ca, cb := net.Pipe()
+		iSide := &teeRW{ReadWriter: ca}
+		rSide := &teeRW{ReadWriter: cb}
+		respErr := make(chan error, 1)
+		go func() {
+			defer cb.Close()
+			respErr <- SyncResponder(p.B, rSide, opt)
+		}()
+		wrapRes, err := SyncInitiator(p.A, iSide, opt)
+		ca.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-respErr; err != nil {
+			t.Fatal(err)
+		}
+
+		// The same exchange, engine only.
+		is, opening, err := NewInitiatorSession(p.A, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewResponderSession(p.B, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var iStream, rStream []byte
+		toResponder := opening
+		done := false
+		for !done {
+			iStream = append(iStream, frameBytes(toResponder)...)
+			var toInitiator []Frame
+			for _, f := range toResponder {
+				out, _, err := rs.Step(f.Type, f.Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				toInitiator = append(toInitiator, out...)
+			}
+			rStream = append(rStream, frameBytes(toInitiator)...)
+			toResponder = nil
+			for _, f := range toInitiator {
+				out, d, err := is.Step(f.Type, f.Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				toResponder = append(toResponder, out...)
+				done = d
+			}
+			if done {
+				// Deliver the closing frames (msgDone) to the responder so
+				// both machines finish.
+				iStream = append(iStream, frameBytes(toResponder)...)
+				for _, f := range toResponder {
+					if _, _, err := rs.Step(f.Type, f.Payload); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+
+		if !bytes.Equal(iSide.bytes(), iStream) {
+			t.Fatalf("strong=%v: initiator wire stream diverges from engine frames (%d vs %d bytes)",
+				strong, len(iSide.bytes()), len(iStream))
+		}
+		if !bytes.Equal(rSide.bytes(), rStream) {
+			t.Fatalf("strong=%v: responder wire stream diverges from engine frames (%d vs %d bytes)",
+				strong, len(rSide.bytes()), len(rStream))
+		}
+
+		engRes := is.Result()
+		if engRes == nil {
+			t.Fatal("engine produced no result")
+		}
+		if len(engRes.Difference) != len(wrapRes.Difference) ||
+			engRes.Complete != wrapRes.Complete ||
+			engRes.Rounds != wrapRes.Rounds ||
+			engRes.WireBytes != wrapRes.WireBytes ||
+			engRes.PayloadBytes != wrapRes.PayloadBytes ||
+			engRes.EstimatorBytes != wrapRes.EstimatorBytes ||
+			engRes.EstimatedD != wrapRes.EstimatedD {
+			t.Fatalf("strong=%v: engine result %+v != wrapper result %+v", strong, engRes, wrapRes)
+		}
+	}
+}
+
+func TestInitiatorSessionClosedStep(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 200, D: 3, Seed: 53})
+	opt := &Options{Seed: 54}
+	is, opening, err := NewInitiatorSession(p.A, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewResponderSession(p.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toResponder := opening
+	done := false
+	for !done {
+		var toInitiator []Frame
+		for _, f := range toResponder {
+			out, _, err := rs.Step(f.Type, f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toInitiator = append(toInitiator, out...)
+		}
+		toResponder = nil
+		for _, f := range toInitiator {
+			out, d, err := is.Step(f.Type, f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toResponder = append(toResponder, out...)
+			done = d
+		}
+	}
+	if _, _, err := is.Step(msgRoundReply, nil); err == nil {
+		t.Fatal("closed initiator session accepted a frame")
+	}
+	for _, f := range toResponder {
+		if _, _, err := rs.Step(f.Type, f.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := rs.Step(msgRound, nil); err == nil {
+		t.Fatal("closed responder session accepted a frame")
+	}
+}

@@ -5,17 +5,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
+	"slices"
+	"time"
 
 	"pbs/internal/core"
 	"pbs/internal/estimator"
-	"pbs/internal/msethash"
 )
 
-// This file implements the complete wire protocol over an io.ReadWriter:
+// This file implements the blocking wire protocol over an io.ReadWriter:
 // the Tug-of-War estimation phase (§6.2), deterministic parameter
 // derivation on both sides, the multi-round PBS exchange, and an optional
 // strong final verification using a multiset hash (the §2.2.3 hardening).
+// The protocol logic itself lives in the non-blocking session engine
+// (session.go); SyncInitiator and SyncResponder only pump frames between a
+// connection and a session, and the concurrent Server (server.go) drives
+// the same engine for many connections at once.
 //
 // Message flow (I = initiator, R = responder):
 //
@@ -33,6 +37,12 @@ import (
 // Options.Parallelism is the exception: it only sizes the local worker pool
 // for per-group decoding, produces byte-identical frames for any value, and
 // so may differ freely between the two endpoints.
+//
+// Two further frame types exist only at the edges of a pbs-serve
+// deployment and never appear inside a reconciliation exchange: a Client
+// may open its connection with msgHello naming the server-side set to
+// reconcile against, and a Server reports a rejected or failed session
+// with a final msgError carrying a diagnostic string.
 
 const (
 	msgEstimate = iota + 1
@@ -42,6 +52,8 @@ const (
 	msgVerify
 	msgVerifyReply
 	msgDone
+	msgHello // client -> server: name of the shared set to sync against
+	msgError // server -> client: session rejected or failed, payload = text
 )
 
 // ErrVerificationFailed is returned by SyncInitiator when the strong
@@ -67,31 +79,67 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
+// writeFrames sends every frame a session step produced, in order.
+func writeFrames(w io.Writer, frames []Frame) error {
+	for _, f := range frames {
+		if err := writeFrame(w, f.Type, f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	return readFrameLimit(r, maxFrame)
+}
+
+// frameChunk is the increment readFrameLimit grows a payload buffer by, so
+// held memory tracks bytes actually delivered rather than bytes claimed.
+const frameChunk = 256 << 10
+
+// frameLimitError reports a frame rejected on its declared size alone,
+// before any payload was read. The Server matches on it to tell a
+// budget-capped rejection apart from transport failures.
+type frameLimitError struct{ n uint32 }
+
+func (e *frameLimitError) Error() string {
+	return fmt.Sprintf("pbs: frame of %d bytes exceeds limit", e.n)
+}
+
+// readFrameLimit reads one frame whose payload may not exceed limit. The
+// payload buffer grows chunk-wise as data arrives: a peer that declares a
+// huge frame and then stalls pins (at most) one chunk, not the claimed
+// size — the allocation-amplification defense the Server relies on when
+// it multiplies connections by the hundreds.
+func readFrameLimit(r io.Reader, limit uint32) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("pbs: frame of %d bytes exceeds limit", n)
+	if n > limit {
+		return 0, nil, &frameLimitError{n: n}
 	}
-	payload = make([]byte, n)
+	first := n
+	if first > frameChunk {
+		first = frameChunk
+	}
+	payload = make([]byte, first)
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
+	for uint32(len(payload)) < n {
+		take := n - uint32(len(payload))
+		if take > frameChunk {
+			take = frameChunk
+		}
+		start := len(payload)
+		payload = slices.Grow(payload, int(take))[:start+int(take)]
+		if _, err = io.ReadFull(r, payload[start:]); err != nil {
+			return 0, nil, err
+		}
+	}
 	return hdr[4], payload, nil
-}
-
-func expectFrame(r io.Reader, want byte) ([]byte, error) {
-	typ, payload, err := readFrame(r)
-	if err != nil {
-		return nil, err
-	}
-	if typ != want {
-		return nil, fmt.Errorf("pbs: expected message type %d, got %d", want, typ)
-	}
-	return payload, nil
 }
 
 // encodeSketches serializes ToW sketch values as zigzag varints.
@@ -119,193 +167,92 @@ func decodeSketches(b []byte) ([]int64, error) {
 		ys[i] = v
 		b = b[k:]
 	}
+	// A corrupted frame must fail loudly, not half-parse: the declared
+	// count has to consume the payload exactly.
+	if len(b) != 0 {
+		return nil, fmt.Errorf("pbs: %d trailing bytes after sketches", len(b))
+	}
 	return ys, nil
 }
 
 // syncPlan derives the shared plan from the agreed d̂ — both sides must
 // compute exactly the same Plan, so everything here is deterministic.
-func syncPlan(dhatRounded uint64, opt Options) (Plan, error) {
+func syncPlan(dhatRounded uint64, opt Options) (core.Plan, error) {
 	d := estimator.ConservativeD(float64(dhatRounded), opt.Gamma)
 	return core.NewPlan(d, opt.coreConfig())
 }
 
 // SyncInitiator runs the full protocol over conn and learns the set
 // difference. It blocks until the exchange completes or fails. The
-// responder side must run SyncResponder with identical Options.
+// responder side must run SyncResponder (or a server-driven
+// ResponderSession) with identical Options.
 func SyncInitiator(set []uint64, conn io.ReadWriter, o *Options) (*Result, error) {
-	opt := o.withDefaults()
-
-	// Phase 1: estimation.
-	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	s, opening, err := NewInitiatorSession(set, o)
 	if err != nil {
 		return nil, err
 	}
-	ys := tow.Sketch(set)
-	est := encodeSketches(ys)
-	if err := writeFrame(conn, msgEstimate, est); err != nil {
+	if err := writeFrames(conn, opening); err != nil {
 		return nil, err
 	}
-	reply, err := expectFrame(conn, msgEstimateReply)
-	if err != nil {
-		return nil, err
-	}
-	dhat, k := binary.Uvarint(reply)
-	if k <= 0 {
-		return nil, fmt.Errorf("pbs: bad estimate reply")
-	}
-	estBytes := len(est) + len(reply)
-
-	plan, err := syncPlan(dhat, opt)
-	if err != nil {
-		return nil, err
-	}
-	alice, err := core.NewAlice(set, plan)
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 2: rounds.
-	var st core.Stats
-	maxRounds := plan.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = 64
-	}
-	for round := 0; round < maxRounds && !alice.Done(); round++ {
-		msg, err := alice.BuildRound()
+	for {
+		typ, payload, err := readFrame(conn)
 		if err != nil {
 			return nil, err
 		}
-		if msg == nil {
-			break
+		out, done, stepErr := s.Step(typ, payload)
+		// Frames are flushed even on error: a failed strong verification
+		// still closes the session with msgDone.
+		if werr := writeFrames(conn, out); werr != nil && stepErr == nil {
+			stepErr = werr
 		}
-		if err := writeFrame(conn, msgRound, msg); err != nil {
-			return nil, err
+		if stepErr != nil {
+			return nil, stepErr
 		}
-		rr, err := expectFrame(conn, msgRoundReply)
-		if err != nil {
-			return nil, err
-		}
-		if err := alice.AbsorbReply(rr); err != nil {
-			return nil, err
-		}
-		st.Rounds++
-		st.AliceWireBits += len(msg) * 8
-		st.BobWireBits += len(rr) * 8
-	}
-
-	res := &Result{
-		Difference: alice.Difference(),
-		Complete:   alice.Done(),
-		Rounds:     st.Rounds,
-		EstimatedD: estimator.ConservativeD(float64(dhat), opt.Gamma),
-		// The initiator only knows its own payload bits exactly; the
-		// peer's contribution is included in WireBytes.
-		PayloadBytes:   (alice.PayloadBits() + 7) / 8,
-		WireBytes:      (st.AliceWireBits+st.BobWireBits)/8 + estBytes,
-		EstimatorBytes: estBytes,
-	}
-
-	// Phase 3: optional strong verification (§2.2.3).
-	if opt.StrongVerify && res.Complete {
-		if err := writeFrame(conn, msgVerify, nil); err != nil {
-			return nil, err
-		}
-		vr, err := expectFrame(conn, msgVerifyReply)
-		if err != nil {
-			return nil, err
-		}
-		theirs, ok := msethash.DigestFromBytes(vr)
-		if !ok {
-			return nil, fmt.Errorf("pbs: malformed verification digest")
-		}
-		h := msethash.New(opt.Seed ^ 0x5EC)
-		h.AddSet(set)
-		in := make(map[uint64]struct{}, len(set))
-		for _, x := range set {
-			in[x] = struct{}{}
-		}
-		for _, x := range res.Difference {
-			if _, present := in[x]; present {
-				h.Remove(x)
-			} else {
-				h.Add(x)
-			}
-		}
-		if h.Sum() != theirs {
-			writeFrame(conn, msgDone, nil)
-			return nil, ErrVerificationFailed
+		if done {
+			return s.Result(), nil
 		}
 	}
-	if err := writeFrame(conn, msgDone, nil); err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // SyncResponder serves one full protocol session over conn. It returns nil
-// when the initiator signals completion.
+// when the initiator signals completion. A session rejected by the
+// hardening checks (over-limit d̂, duplicate estimate, malformed payloads)
+// is reported to the peer as a msgError frame before returning, so a
+// blocking initiator gets the diagnostic instead of waiting forever on a
+// reply that will never come.
 func SyncResponder(set []uint64, conn io.ReadWriter, o *Options) error {
-	opt := o.withDefaults()
-	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	s, err := NewResponderSession(set, o)
 	if err != nil {
 		return err
 	}
-
-	var bob *core.Bob // created after the estimate fixes the plan
 	for {
 		typ, payload, err := readFrame(conn)
 		if err != nil {
 			return err
 		}
-		switch typ {
-		case msgEstimate:
-			theirs, err := decodeSketches(payload)
-			if err != nil {
-				return err
-			}
-			if len(theirs) != opt.EstimatorSketches {
-				return fmt.Errorf("pbs: peer sent %d sketches, want %d", len(theirs), opt.EstimatorSketches)
-			}
-			mine := tow.Sketch(set)
-			dhatF, err := tow.Estimate(theirs, mine)
-			if err != nil {
-				return err
-			}
-			dhat := uint64(math.Round(dhatF))
-			plan, err := syncPlan(dhat, opt)
-			if err != nil {
-				return err
-			}
-			bob, err = core.NewBob(set, plan)
-			if err != nil {
-				return err
-			}
-			buf := binary.AppendUvarint(nil, dhat)
-			if err := writeFrame(conn, msgEstimateReply, buf); err != nil {
-				return err
-			}
-		case msgRound:
-			if bob == nil {
-				return fmt.Errorf("pbs: round before estimation")
-			}
-			reply, err := bob.HandleRound(payload)
-			if err != nil {
-				return err
-			}
-			if err := writeFrame(conn, msgRoundReply, reply); err != nil {
-				return err
-			}
-		case msgVerify:
-			h := msethash.New(opt.Seed ^ 0x5EC)
-			h.AddSet(set)
-			d := h.Sum()
-			if err := writeFrame(conn, msgVerifyReply, d.Bytes()); err != nil {
-				return err
-			}
-		case msgDone:
+		out, done, stepErr := s.Step(typ, payload)
+		if werr := writeFrames(conn, out); werr != nil && stepErr == nil {
+			stepErr = werr
+		}
+		if stepErr != nil {
+			notifyPeerError(conn, stepErr)
+			return stepErr
+		}
+		if done {
 			return nil
-		default:
-			return fmt.Errorf("pbs: unexpected message type %d", typ)
 		}
 	}
+}
+
+// notifyPeerError best-effort sends a msgError diagnostic. The write is
+// bounded by a deadline when the transport supports one; on a bare
+// io.ReadWriter (where an unread write could block forever) it is skipped.
+func notifyPeerError(conn io.ReadWriter, stepErr error) {
+	dw, ok := conn.(interface{ SetWriteDeadline(time.Time) error })
+	if !ok {
+		return
+	}
+	dw.SetWriteDeadline(time.Now().Add(time.Second))
+	writeFrame(conn, msgError, []byte(stepErr.Error()))
+	dw.SetWriteDeadline(time.Time{})
 }

@@ -2,6 +2,7 @@ package pbs
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 	"math"
 	"net"
@@ -181,7 +182,7 @@ func TestSyncInitiatorCorruptEstimateReply(t *testing.T) {
 func corruptingResponder(set []uint64, conn net.Conn, seed uint64) {
 	defer conn.Close()
 	opt := (&Options{Seed: seed}).withDefaults()
-	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
 	if err != nil {
 		return
 	}
@@ -251,6 +252,213 @@ func TestSyncResponderPeerDisconnect(t *testing.T) {
 		}
 	case <-time.After(faultTimeout):
 		t.Fatal("responder hung after peer disconnect")
+	}
+}
+
+func TestSyncInitiatorOversizedEstimateRejected(t *testing.T) {
+	// A hostile responder replies with an absurd d̂: the initiator must
+	// reject it before attempting the giant Plan allocation it implies.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 500, D: 5, Seed: 31})
+	for _, dhat := range []uint64{DefaultMaxD + 1, 1 << 40, math.MaxUint64} {
+		ca, cb := net.Pipe()
+		go func() {
+			defer cb.Close()
+			if _, _, err := readFrame(cb); err != nil {
+				return
+			}
+			writeFrame(cb, msgEstimateReply, binary.AppendUvarint(nil, dhat))
+		}()
+		err := withDeadline(t, "initiator", func() error {
+			_, err := SyncInitiator(p.A, ca, &Options{Seed: 32})
+			return err
+		})
+		ca.Close()
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("d̂=%d: want estimate-limit error, got %v", dhat, err)
+		}
+	}
+}
+
+func TestSyncInitiatorCustomMaxD(t *testing.T) {
+	// An honest exchange whose true difference estimate exceeds the
+	// configured MaxD must fail cleanly on the initiator side too.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 200, Seed: 33})
+	ca, cb := net.Pipe()
+	respErr := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		// The responder's cap is left at the default so only the
+		// initiator's tighter limit can fire.
+		respErr <- SyncResponder(p.B, cb, &Options{Seed: 34})
+	}()
+	_, err := SyncInitiator(p.A, ca, &Options{Seed: 34, MaxD: 10})
+	ca.Close()
+	<-respErr
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("want estimate-limit error, got %v", err)
+	}
+}
+
+func TestSyncResponderOversizedEstimateRejected(t *testing.T) {
+	// Hostile initiator sketches drive the responder's own estimate over
+	// its MaxD: the responder must refuse to build the plan.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 200, Seed: 35})
+	ca, cb := net.Pipe()
+	respErr := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		respErr <- SyncResponder(p.B, cb, &Options{Seed: 36, MaxD: 10})
+	}()
+	_, initErr := SyncInitiator(p.A, ca, &Options{Seed: 36, MaxD: 10})
+	ca.Close()
+	select {
+	case err := <-respErr:
+		if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Fatalf("want estimate-limit error, got %v", err)
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on oversized estimate")
+	}
+	if initErr == nil {
+		t.Fatal("initiator must fail when the responder aborts")
+	}
+}
+
+func TestSyncAsymmetricSmallResponder(t *testing.T) {
+	// Peer-to-peer SyncResponder must keep the plain DefaultMaxD: a tiny
+	// responder set reconciling against a much larger initiator set is
+	// legitimate (the server-side 64·|S| tightening applies only to
+	// Server-driven sessions).
+	big := make([]uint64, 5000)
+	for i := range big {
+		big[i] = uint64(i + 1)
+	}
+	small := big[:10:10]
+	res, initErr, respErr := runSync(t, big, small, &Options{Seed: 41})
+	if initErr != nil || respErr != nil {
+		t.Fatalf("asymmetric sync failed: init=%v resp=%v", initErr, respErr)
+	}
+	if !res.Complete || len(res.Difference) != 4990 {
+		t.Fatalf("complete=%v |diff|=%d, want complete with 4990", res.Complete, len(res.Difference))
+	}
+}
+
+func TestSyncResponderRejectionNotifiesInitiator(t *testing.T) {
+	// When the responder's hardening rejects the session, the blocking
+	// initiator must receive the msgError diagnostic, not hang forever.
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 200, Seed: 43})
+	ca, cb := net.Pipe()
+	respErr := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		respErr <- SyncResponder(p.B, cb, &Options{Seed: 44, MaxD: 10})
+	}()
+	err := withDeadline(t, "initiator", func() error {
+		// The initiator keeps the default MaxD, so only the responder
+		// rejects; without the msgError frame this read would hang.
+		_, err := SyncInitiator(p.A, ca, &Options{Seed: 44})
+		return err
+	})
+	ca.Close()
+	<-respErr
+	if err == nil || !strings.Contains(err.Error(), "peer error") {
+		t.Fatalf("want peer-error diagnostic on the initiator, got %v", err)
+	}
+}
+
+func TestSyncResponderDuplicateEstimateRejected(t *testing.T) {
+	// A second msgEstimate mid-session must be rejected, not silently
+	// rebuild the responder and discard reconciliation state.
+	set := []uint64{1, 2, 3, 4, 5}
+	opt := (&Options{Seed: 37}).withDefaults()
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := encodeSketches(tow.Sketch([]uint64{6, 7, 8}))
+
+	ca, cb := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SyncResponder(set, cb, &Options{Seed: 37}) }()
+	if err := writeFrame(ca, msgEstimate, est); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expectFrameT(t, ca, msgEstimateReply); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(ca, msgEstimate, est); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "duplicate estimate") {
+			t.Fatalf("want duplicate-estimate error, got %v", err)
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on duplicate estimate")
+	}
+	ca.Close()
+}
+
+// expectFrameT reads one frame and checks its type, for hand-rolled peers
+// in fault tests.
+func expectFrameT(t *testing.T, r io.Reader, want byte) ([]byte, error) {
+	t.Helper()
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("expected message type %d, got %d", want, typ)
+	}
+	return payload, nil
+}
+
+func TestSyncResponderTrailingSketchBytes(t *testing.T) {
+	// A valid sketch payload with trailing garbage must fail loudly
+	// instead of half-parsing.
+	opt := (&Options{Seed: 38}).withDefaults()
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := append(encodeSketches(tow.Sketch([]uint64{6, 7, 8})), 0xAB)
+
+	ca, cb := net.Pipe()
+	errCh := make(chan error, 1)
+	go func() { errCh <- SyncResponder([]uint64{1, 2, 3}, cb, &Options{Seed: 38}) }()
+	if err := writeFrame(ca, msgEstimate, est); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+			t.Fatalf("want trailing-bytes error, got %v", err)
+		}
+	case <-time.After(faultTimeout):
+		t.Fatal("responder hung on trailing sketch bytes")
+	}
+	ca.Close()
+}
+
+func TestSyncInitiatorTrailingEstimateReplyBytes(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 500, D: 5, Seed: 39})
+	ca, cb := net.Pipe()
+	go func() {
+		defer cb.Close()
+		if _, _, err := readFrame(cb); err != nil {
+			return
+		}
+		// A valid d̂ varint followed by garbage the parser must not ignore.
+		writeFrame(cb, msgEstimateReply, append(binary.AppendUvarint(nil, 5), 0xCD, 0xEF))
+	}()
+	err := withDeadline(t, "initiator", func() error {
+		_, err := SyncInitiator(p.A, ca, &Options{Seed: 40})
+		return err
+	})
+	ca.Close()
+	if err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
 	}
 }
 

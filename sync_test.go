@@ -144,7 +144,7 @@ func TestSyncStrongVerifyCatchesCorruption(t *testing.T) {
 // digest, a protocol-corruption one).
 func hackedResponder(set []uint64, conn net.Conn, digest []byte) {
 	opt := (&Options{Seed: 11}).withDefaults()
-	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^0x70E57)
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
 	if err != nil {
 		return
 	}
