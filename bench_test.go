@@ -8,7 +8,9 @@ package pbs
 // series shapes. Full-scale sweeps: cmd/pbs-experiments.
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"testing"
 
 	"pbs/internal/exper"
@@ -319,4 +321,72 @@ func BenchmarkEstimator(b *testing.B) {
 			b.Fatal("reconcile failed")
 		}
 	}
+}
+
+// BenchmarkAPI quantifies the Set API's amortization win: one full wire
+// sync per iteration over an in-memory pipe, either from long-lived warm
+// handles (validation, ToW sketch, snapshot, and partitions carried over
+// between syncs) or rebuilt from raw slices per call the way the legacy
+// SyncInitiator/SyncResponder wrappers do. scripts/bench_api.sh emits the
+// comparison to BENCH_api.json.
+func BenchmarkAPI(b *testing.B) {
+	p, err := workload.Generate(workload.Config{UniverseBits: 32, SizeA: 50000, D: 100, Seed: 77})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := &Options{Seed: 78}
+
+	syncOnce := func(b *testing.B, initiate func(conn net.Conn) (*Result, error), respond func(conn net.Conn) error) {
+		b.Helper()
+		ca, cb := net.Pipe()
+		respErr := make(chan error, 1)
+		go func() {
+			defer cb.Close()
+			respErr <- respond(cb)
+		}()
+		res, err := initiate(ca)
+		ca.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := <-respErr; err != nil {
+			b.Fatal(err)
+		}
+		if !res.Complete || len(res.Difference) != len(p.Diff) {
+			b.Fatalf("bad sync: complete=%v |diff|=%d", res.Complete, len(res.Difference))
+		}
+	}
+
+	b.Run("warm-set/d=100", func(b *testing.B) {
+		sa, err := NewSet(p.A, withBaseOptions(opt))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb, err := NewSet(p.B, withBaseOptions(opt))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		// One untimed priming sync: the handle's lazy one-time costs
+		// (estimator sketch, snapshot, partitions) land here, so the
+		// timed loop measures the steady state a long-lived handle runs
+		// in — which is the quantity this benchmark exists to compare.
+		syncOnce(b,
+			func(conn net.Conn) (*Result, error) { return sa.Sync(ctx, conn) },
+			func(conn net.Conn) error { return sb.Respond(ctx, conn) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			syncOnce(b,
+				func(conn net.Conn) (*Result, error) { return sa.Sync(ctx, conn) },
+				func(conn net.Conn) error { return sb.Respond(ctx, conn) })
+		}
+	})
+
+	b.Run("cold-construct/d=100", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			syncOnce(b,
+				func(conn net.Conn) (*Result, error) { return SyncInitiator(p.A, conn, opt) },
+				func(conn net.Conn) error { return SyncResponder(p.B, conn, opt) })
+		}
+	})
 }

@@ -1,10 +1,18 @@
 package pbs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
 )
+
+// DefaultClientIdleTimeout is the per-frame deadline a Client applies when
+// IdleTimeout is zero. Servers drop silent sessions after their own
+// IdleTimeout (30s by default); mirroring that bound on the client side
+// means a stalled, overloaded, or hostile server fails the sync with a
+// timeout instead of hanging the caller forever.
+const DefaultClientIdleTimeout = 30 * time.Second
 
 // Client reconciles a local set against a pbs Server over TCP. It is the
 // initiator side of the wire protocol plus the thin server envelope: an
@@ -13,7 +21,10 @@ import (
 //
 // The zero value is not usable — Addr is required — but every other field
 // defaults sensibly. A Client is stateless and safe for concurrent use;
-// each Sync dials its own connection.
+// each Sync dials its own connection. Callers syncing the same data
+// repeatedly should hold a Set and call Set.Sync over their own
+// connections instead, reusing the validated snapshot and estimator sketch
+// across syncs.
 type Client struct {
 	// Addr is the server address (host:port).
 	Addr string
@@ -24,40 +35,57 @@ type Client struct {
 	Options *Options
 	// DialTimeout bounds the TCP dial (default 10s).
 	DialTimeout time.Duration
-	// Timeout bounds the whole exchange as a connection deadline
-	// (0 = none).
+	// Timeout bounds the whole exchange (0 = none beyond the context's own
+	// deadline). It is applied as a context deadline, which SyncContext
+	// plumbs into the connection's read/write deadlines.
 	Timeout time.Duration
+	// IdleTimeout bounds the wait for each single frame: a server silent
+	// for this long fails the sync with a timeout instead of hanging it.
+	// 0 selects DefaultClientIdleTimeout; negative disables the bound.
+	IdleTimeout time.Duration
 }
 
 // Sync dials the server and learns local △ remote for the configured
-// remote set. It blocks until the exchange completes or fails.
+// remote set. It blocks until the exchange completes or fails. Equivalent
+// to SyncContext with a background context.
 func (c *Client) Sync(local []uint64) (*Result, error) {
+	return c.SyncContext(context.Background(), local)
+}
+
+// SyncContext is Sync under a context: cancelling ctx (or reaching its
+// deadline, or the Timeout field's) aborts the dial and the exchange
+// promptly — the deadline is wired into the connection's read/write
+// deadlines — and returns ctx.Err().
+func (c *Client) SyncContext(ctx context.Context, local []uint64) (*Result, error) {
 	if c.Addr == "" {
 		return nil, fmt.Errorf("pbs: client has no server address")
+	}
+	set, err := NewSet(local, withBaseOptions(c.Options))
+	if err != nil {
+		return nil, err
+	}
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
 	}
 	dt := c.DialTimeout
 	if dt == 0 {
 		dt = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", c.Addr, dt)
+	d := net.Dialer{Timeout: dt}
+	conn, err := d.DialContext(ctx, "tcp", c.Addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	if c.Timeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.Timeout))
+	idle := c.IdleTimeout
+	if idle == 0 {
+		idle = DefaultClientIdleTimeout
 	}
+	opts := []Option{WithIdleTimeout(idle)}
 	if c.Set != "" {
-		if err := writeFrame(conn, msgHello, []byte(c.Set)); err != nil {
-			return nil, err
-		}
+		opts = append(opts, WithSetName(c.Set))
 	}
-	res, err := SyncInitiator(local, conn, c.Options)
-	if res != nil && c.Set != "" {
-		// SyncInitiator's accounting starts at the estimate frame; the
-		// hello envelope is this client's extra cost, so fold it in to
-		// keep WireBytes reconcilable with the server's BytesIn.
-		res.WireBytes += 5 + len(c.Set)
-	}
-	return res, err
+	return set.Sync(ctx, conn, opts...)
 }

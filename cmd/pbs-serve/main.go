@@ -26,6 +26,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -74,7 +75,15 @@ func main() {
 		return
 	}
 
-	set, _, err := loadSet(*setPath, *demoSize, *demoD, *demoSeed, false)
+	elems, _, err := loadSet(*setPath, *demoSize, *demoD, *demoSeed, false)
+	if err != nil {
+		fatal(err)
+	}
+	// The served catalog is a live pbs.Set: validated once, estimator
+	// sketch maintained incrementally, and mutable while serving (a
+	// reloaded catalog would land with Add/Remove; new sessions pick it
+	// up, in-flight sessions keep the view they started with).
+	set, err := pbs.NewSet(elems, pbs.WithOptions(*opt))
 	if err != nil {
 		fatal(err)
 	}
@@ -85,7 +94,7 @@ func main() {
 		SessionByteBudget: *byteBudget,
 		SessionMaxRounds:  *maxRounds,
 	})
-	if err := srv.Register(*setName, set); err != nil {
+	if err := srv.RegisterSet(*setName, set); err != nil {
 		fatal(err)
 	}
 
@@ -109,7 +118,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("pbs-serve: serving %d elements as %q on %s\n", len(set), *setName, ln.Addr())
+	fmt.Printf("pbs-serve: serving %d elements as %q on %s\n", set.Len(), *setName, ln.Addr())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -147,8 +156,12 @@ func runClient(addr, setName string, opt *pbs.Options, setPath string, demoSize,
 	if setName != pbs.DefaultSetName {
 		c.Set = setName
 	}
+	// SIGINT aborts an in-flight sync promptly: the context cancellation
+	// is wired into the connection deadlines.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
 	start := time.Now()
-	res, err := c.Sync(local)
+	res, err := c.SyncContext(ctx, local)
 	if err != nil {
 		fatal(err)
 	}

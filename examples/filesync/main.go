@@ -2,20 +2,24 @@
 // smart sync, where chunk signatures are synchronized far more often than
 // chunk contents).
 //
-// Two directory replicas are modeled as sets of chunk signatures. The
-// replicas reconcile over a real byte-stream connection using the full
-// wire protocol (SyncInitiator/SyncResponder) — including the in-band
+// Two directory replicas are modeled as pbs.Set handles of chunk
+// signatures. The replicas reconcile over a real byte-stream connection
+// with the Set API (Set.Sync against Set.Respond) — including the in-band
 // Tug-of-War estimation phase and the strong multiset-hash verification —
-// then fetch only the chunks the difference identified.
+// and exploit PBS's piecewise property: WithOnDelta streams differing
+// signatures as each group pair verifies, so chunk transfers start before
+// the protocol finishes.
 //
 // Run with: go run ./examples/filesync
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"net"
+	"time"
 
 	"pbs"
 	"pbs/internal/hashutil"
@@ -85,32 +89,47 @@ func main() {
 		}
 	}
 
-	// Reconcile signatures over a connection.
+	// Long-lived set handles: signatures are validated once and the
+	// estimator sketch is maintained incrementally as chunks change.
+	laptopSet, err := pbs.NewSet(laptop.signatures(), pbs.WithSeed(777), pbs.WithStrongVerify(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cloudSet, err := pbs.NewSet(cloud.signatures(), pbs.WithSeed(777), pbs.WithStrongVerify(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reconcile signatures over a connection, applying chunk transfers
+	// round by round as group pairs verify (piecewise reconciliation).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	connL, connC := net.Pipe()
-	opts := &pbs.Options{Seed: 777, StrongVerify: true}
 	respErr := make(chan error, 1)
 	go func() {
-		respErr <- pbs.SyncResponder(cloud.signatures(), connC, opts)
+		respErr <- cloudSet.Respond(ctx, connC)
 	}()
-	res, err := pbs.SyncInitiator(laptop.signatures(), connL, opts)
+	var upload, retire int
+	res, err := laptopSet.Sync(ctx, connL,
+		pbs.WithOnDelta(func(sigs []uint64, round int) {
+			// Signatures only the laptop holds are chunks to upload;
+			// signatures only the cloud holds are stale versions to retire.
+			for _, sig := range sigs {
+				if c, mine := laptop.chunks[sig]; mine {
+					cloud.chunks[sig] = c // "upload" the chunk body
+					upload++
+				} else {
+					delete(cloud.chunks, sig)
+					retire++
+				}
+			}
+			fmt.Printf("  round %d: %d chunk transfers already under way\n", round, len(sigs))
+		}))
 	if err != nil {
 		log.Fatal("initiator:", err)
 	}
 	if err := <-respErr; err != nil {
 		log.Fatal("responder:", err)
-	}
-
-	// Interpret: signatures only the laptop holds are chunks to upload;
-	// signatures only the cloud holds are stale versions to retire.
-	var upload, retire int
-	for _, sig := range res.Difference {
-		if c, mine := laptop.chunks[sig]; mine {
-			cloud.chunks[sig] = c // "upload" the chunk body
-			upload++
-		} else {
-			delete(cloud.chunks, sig)
-			retire++
-		}
 	}
 
 	fmt.Printf("sync complete=%v in %d rounds (strong verification passed)\n", res.Complete, res.Rounds)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -51,6 +52,25 @@ func main() {
 
 	union := pbs.Union(alice, res)
 	fmt.Printf("after sync Alice holds %d items (was %d)\n", len(union), len(alice))
+
+	// Syncing repeatedly? Hold pbs.Set handles instead: validation happens
+	// once, the estimator sketch updates incrementally with Add/Remove, and
+	// each Reconcile reuses the cached snapshot.
+	setA, err := pbs.NewSet(union, pbs.WithSeed(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	setB, err := pbs.NewSet(pbs.Union(bob, res), pbs.WithSeed(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	setA.Add(fresh(rng, seen)) // new local item since the last sync
+	res2, err := setA.Reconcile(context.Background(), setB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incremental re-sync: %d new difference(s) in %d round(s)\n",
+		len(res2.Difference), res2.Rounds)
 }
 
 func fresh(rng *rand.Rand, seen map[uint64]bool) uint64 {

@@ -1,17 +1,21 @@
 // Hub-and-spoke reconciliation: the millions-of-clients deployment shape.
 //
-// One pbs.Server holds an immutable snapshot of a reference set (a
-// software-update catalog, a certificate-transparency log tip, a mempool)
-// and a fleet of clients concurrently reconcile their drifted local copies
-// against it over TCP. Every session shares the server's single snapshot —
-// one validated copy, one ToW sketch, one group partition per plan size —
-// and the session manager caps d̂, bytes, rounds, and idle time per
-// session, so one hostile or broken client cannot hurt the rest.
+// One pbs.Set holds a reference catalog (a software-update catalog, a
+// certificate-transparency log tip, a mempool) and serves a fleet of
+// clients that concurrently reconcile their drifted local copies against
+// it over TCP via Set.Serve. Every session shares the set's current
+// immutable view — one validated snapshot, one ToW sketch, one group
+// partition per plan size — and the set stays mutable while serving:
+// catalog updates land with Add/Remove, the estimator sketch follows
+// incrementally, and the next admitted session sees the new contents.
+// Per-session limits (d̂ cap, bytes, rounds, idle time) keep one hostile
+// or broken client from hurting the rest.
 //
 // Run with: go run ./examples/serversync
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,31 +27,33 @@ import (
 )
 
 func main() {
-	// The reference set: 200k random 32-bit IDs.
+	// The reference set: 200k random 32-bit IDs, held as a live handle.
 	rng := rand.New(rand.NewSource(7))
-	catalog := make(map[uint64]struct{})
-	for len(catalog) < 200_000 {
-		catalog[uint64(rng.Uint32()|1)] = struct{}{}
+	catalogIDs := make(map[uint64]struct{})
+	for len(catalogIDs) < 200_000 {
+		catalogIDs[uint64(rng.Uint32()|1)] = struct{}{}
 	}
-	reference := make([]uint64, 0, len(catalog))
-	for x := range catalog {
+	reference := make([]uint64, 0, len(catalogIDs))
+	for x := range catalogIDs {
 		reference = append(reference, x)
 	}
 
-	opt := &pbs.Options{Seed: 42, StrongVerify: true}
-	srv := pbs.NewServer(pbs.ServerOptions{Protocol: opt})
-	if err := srv.Register(pbs.DefaultSetName, reference); err != nil {
+	catalog, err := pbs.NewSet(reference, pbs.WithSeed(42), pbs.WithStrongVerify(true))
+	if err != nil {
 		log.Fatal(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv.Serve(ln)
-	fmt.Printf("serving %d IDs on %s\n", len(reference), ln.Addr())
+	ctx, stopServing := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- catalog.Serve(ctx, ln) }()
+	fmt.Printf("serving %d IDs on %s\n", catalog.Len(), ln.Addr())
 
 	// 32 clients, each missing a different few hundred IDs and carrying a
 	// few local extras, sync concurrently.
+	opt := &pbs.Options{Seed: 42, StrongVerify: true}
 	const clients = 32
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
@@ -55,7 +61,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			local, drift := driftedCopy(reference, int64(i))
-			c := &pbs.Client{Addr: ln.Addr().String(), Options: opt}
+			c := &pbs.Client{Addr: ln.Addr().String(), Options: opt, Timeout: time.Minute}
 			res, err := c.Sync(local)
 			if err != nil {
 				log.Fatalf("client %d: %v", i, err)
@@ -69,12 +75,31 @@ func main() {
 	}
 	wg.Wait()
 
-	// Clients have all returned, but the last handlers may still be a beat
-	// away from processing their final msgDone — let the drain finish them.
-	srv.Shutdown(5 * time.Second)
-	st := srv.Stats()
-	fmt.Printf("server: %d sessions completed, %d rounds, %d B in, %d B out — one shared snapshot, zero per-session copies\n",
-		st.Completed, st.Rounds, st.BytesIn, st.BytesOut)
+	// A catalog update lands while the server keeps running: publish 500
+	// fresh IDs through the live handle (the sketch updates incrementally;
+	// the next session rebuilds the shared view once and reuses it).
+	fresh := make([]uint64, 0, 500)
+	for len(fresh) < 500 {
+		x := uint64(rng.Uint32() &^ 1) // even IDs are guaranteed novel
+		if x != 0 {
+			fresh = append(fresh, x)
+		}
+	}
+	if _, err := catalog.Add(fresh...); err != nil {
+		log.Fatal(err)
+	}
+	local, _ := driftedCopy(reference, 999)
+	c := &pbs.Client{Addr: ln.Addr().String(), Options: opt, Timeout: time.Minute}
+	res, err := c.Sync(local)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after live catalog update: client learned %d IDs (500 of them fresh)\n",
+		len(res.Difference))
+
+	stopServing()
+	<-serveErr
+	fmt.Println("server: drained and stopped — one shared snapshot per epoch, zero per-session copies")
 }
 
 // driftedCopy returns the reference set minus a client-specific slice of
@@ -85,8 +110,8 @@ func driftedCopy(reference []uint64, seed int64) ([]uint64, int) {
 	local := append([]uint64(nil), reference[missing:]...)
 	extras := 1 + rng.Intn(8)
 	for j := 0; j < extras; j++ {
-		// Catalog IDs are all odd; even IDs are guaranteed novel while
-		// staying inside the default 32-bit signature space.
+		// Catalog IDs are all odd; odd-offset even IDs stay novel while
+		// fitting the default 32-bit signature space.
 		local = append(local, uint64(0xFFFF0000+seed*32+int64(j)*2))
 	}
 	return local, missing + extras

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"pbs/internal/bch"
@@ -23,6 +24,13 @@ type Alice struct {
 
 	// diff accumulates D̂1 △ D̂2 △ ... — the learned difference.
 	diff map[uint64]struct{}
+
+	// onDelta, when set, is invoked at the end of each AbsorbReply with the
+	// elements of every scope that passed checksum verification in that
+	// round — the piecewise-reconciliability property (§3) surfaced as an
+	// event stream: group pairs deliver their differences as they verify,
+	// not when the whole session completes.
+	onDelta func(elems []uint64, round int)
 
 	payloadBits  int
 	sketchesSent int
@@ -88,6 +96,15 @@ type aliceScope struct {
 	// Round-scoped scratch, saved between BuildRound and AbsorbReply.
 	binSums []uint64
 	binSeed uint64
+
+	// pending tracks the scope's contribution to the learned difference —
+	// elements toggled an odd number of times so far. Maintained only when
+	// onDelta is set; when the scope verifies, pending is exactly the
+	// scope's share of A△B and is emitted as that round's delta batch.
+	// Split children inherit the parent's pending partitioned by child hash
+	// (pending elements always lie in the scope's sub-universe, because
+	// acceptRecovered enforces the group and split path).
+	pending map[uint64]struct{}
 }
 
 // NewAlice creates the Alice endpoint for the given set under plan.
@@ -122,6 +139,58 @@ func NewAlice(set []uint64, plan Plan) (*Alice, error) {
 	}
 	a.active = scopes
 	return a, nil
+}
+
+// NewAliceFromSnapshot creates an Alice endpoint over a pre-validated
+// shared Snapshot, skipping the per-session O(|S|) validation pass and
+// reusing the snapshot's cached group partition for plan.Groups — the same
+// amortization NewBobFromSnapshot gives the responder, now available to the
+// side that learns the difference. The plan's Seed and SigBits must match
+// the snapshot's.
+func NewAliceFromSnapshot(snap *Snapshot, plan Plan) (*Alice, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	if plan.Seed != snap.seed {
+		return nil, fmt.Errorf("core: plan seed %#x does not match snapshot seed %#x", plan.Seed, snap.seed)
+	}
+	if plan.SigBits != snap.sigBits {
+		return nil, fmt.Errorf("core: plan sigBits %d does not match snapshot sigBits %d", plan.SigBits, snap.sigBits)
+	}
+	a := &Alice{
+		plan:    plan,
+		sd:      deriveSeeds(plan.Seed),
+		sigMask: sigMask(plan.SigBits),
+		diff:    make(map[uint64]struct{}),
+	}
+	groups := snap.partition(plan.Groups)
+	scopes := make([]*aliceScope, plan.Groups)
+	for g := range scopes {
+		sc := &aliceScope{
+			id: newScopeID(g),
+			w:  make(map[uint64]struct{}, len(groups[g])),
+		}
+		for _, x := range groups[g] {
+			sc.w[x] = struct{}{}
+			sc.checksum = (sc.checksum + x) & a.sigMask
+		}
+		scopes[g] = sc
+	}
+	a.active = scopes
+	return a, nil
+}
+
+// OnVerifiedDelta registers fn to receive each round's newly verified
+// difference elements (see the onDelta field). It must be called before the
+// first BuildRound; elements toggled before the handler is installed would
+// not be tracked. fn is invoked from AbsorbReply's sequential merge phase —
+// never concurrently — with a batch it may retain; batches are sorted, and
+// rounds that verify no new elements produce no call.
+func (a *Alice) OnVerifiedDelta(fn func(elems []uint64, round int)) {
+	if a.round > 0 {
+		panic("core: OnVerifiedDelta installed mid-session")
+	}
+	a.onDelta = fn
 }
 
 func sigMask(bits uint) uint64 {
@@ -370,6 +439,7 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 
 	mergeStart := time.Now()
 	var next []*aliceScope
+	var delta []uint64
 	for i, sc := range a.active {
 		out := &outcomes[i]
 		if out.splits != nil {
@@ -388,11 +458,25 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 			// rounds (surviving scopes keep theirs attached).
 			a.putSums(sc.binSums)
 			sc.binSums = nil
+			// The scope's pending toggles just passed verification: they
+			// are confirmed difference elements, deliverable now.
+			if a.onDelta != nil {
+				for x := range sc.pending {
+					delta = append(delta, x)
+				}
+				sc.pending = nil
+			}
 		} else {
 			next = append(next, sc)
 		}
 	}
 	a.active = next
+	if len(delta) > 0 {
+		// Map iteration randomizes within-scope order; sort so the stream a
+		// caller observes is deterministic for a given exchange.
+		slices.Sort(delta)
+		a.onDelta(delta, a.round)
+	}
 	a.decodeTime += time.Since(mergeStart)
 	return nil
 }
@@ -448,6 +532,16 @@ func (a *Alice) toggle(sc *aliceScope, s uint64) {
 	} else {
 		a.diff[s] = struct{}{}
 	}
+	if a.onDelta != nil {
+		if _, in := sc.pending[s]; in {
+			delete(sc.pending, s)
+		} else {
+			if sc.pending == nil {
+				sc.pending = make(map[uint64]struct{})
+			}
+			sc.pending[s] = struct{}{}
+		}
+	}
 }
 
 // splitScope partitions sc's working set into splitWays children.
@@ -463,6 +557,16 @@ func (a *Alice) splitScope(sc *aliceScope) []*aliceScope {
 		c := children[a.sd.childOf(x, sc.id)]
 		c.w[x] = struct{}{}
 		c.checksum = (c.checksum + x) & a.sigMask
+	}
+	// Unconfirmed toggles follow their elements into the children: each
+	// pending element verifies (and is emitted) with whichever child scope
+	// its sub-universe hash lands it in.
+	for x := range sc.pending {
+		c := children[a.sd.childOf(x, sc.id)]
+		if c.pending == nil {
+			c.pending = make(map[uint64]struct{})
+		}
+		c.pending[x] = struct{}{}
 	}
 	return children
 }

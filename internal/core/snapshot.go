@@ -26,6 +26,12 @@ type Snapshot struct {
 
 	mu    sync.Mutex
 	parts map[int][][]uint64 // group count -> partition, lazily cached
+
+	// membership index, built lazily on first Contains — only the strong
+	// verification path needs it, so sessions that never verify never pay
+	// the O(|S|) map.
+	inOnce sync.Once
+	in     map[uint64]struct{}
 }
 
 // NewSnapshot validates set once under cfg (only SigBits and Seed are
@@ -50,6 +56,30 @@ func NewSnapshot(set []uint64, cfg Config) (*Snapshot, error) {
 		seen[x] = struct{}{}
 		elems = append(elems, x)
 	}
+	// The validation map ("seen") is deliberately discarded rather than
+	// kept for Contains: most snapshots (every responder session) never
+	// verify membership, and pinning an O(|S|) map to each would be a
+	// serious memory regression; the rare strong-verify path rebuilds it
+	// lazily.
+	return &Snapshot{
+		elems:   elems,
+		sigBits: cfg.SigBits,
+		seed:    cfg.Seed,
+		sd:      deriveSeeds(cfg.Seed),
+		parts:   make(map[int][][]uint64),
+	}, nil
+}
+
+// NewValidatedSnapshot wraps an element slice the caller has already
+// validated (nonzero, distinct, within SigBits bits — e.g. elements drawn
+// from a set handle that enforced the contract at insertion time) without
+// re-running the O(|S|) validation pass. The slice is retained, not copied:
+// the caller must not modify it afterwards.
+func NewValidatedSnapshot(elems []uint64, cfg Config) (*Snapshot, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SigBits < 8 || cfg.SigBits > 64 {
+		return nil, fmt.Errorf("core: sigBits=%d out of range [8,64]", cfg.SigBits)
+	}
 	return &Snapshot{
 		elems:   elems,
 		sigBits: cfg.SigBits,
@@ -61,6 +91,20 @@ func NewSnapshot(set []uint64, cfg Config) (*Snapshot, error) {
 
 // Len returns the number of elements in the snapshot.
 func (s *Snapshot) Len() int { return len(s.elems) }
+
+// Contains reports whether x is in the snapshot. The membership index is
+// built on first use and shared by every subsequent call.
+func (s *Snapshot) Contains(x uint64) bool {
+	s.inOnce.Do(func() {
+		in := make(map[uint64]struct{}, len(s.elems))
+		for _, e := range s.elems {
+			in[e] = struct{}{}
+		}
+		s.in = in
+	})
+	_, ok := s.in[x]
+	return ok
+}
 
 // SigBits returns the signature width the snapshot was validated against.
 func (s *Snapshot) SigBits() uint { return s.sigBits }

@@ -229,3 +229,42 @@ func BenchmarkToWSketch10k(b *testing.B) {
 		tw.Sketch(set)
 	}
 }
+
+func TestToWIncrementalAddRemove(t *testing.T) {
+	// A sketch maintained element-by-element with Add/Remove must be
+	// bit-identical to re-sketching the final set from scratch — the
+	// linearity property a long-lived set handle relies on.
+	tw := MustNewToW(32, 99)
+	rng := rand.New(rand.NewSource(5))
+	live := make(map[uint64]struct{})
+	ys := make([]int64, tw.L())
+	for i := 0; i < 2000; i++ {
+		x := uint64(rng.Uint32() | 1)
+		if _, ok := live[x]; ok {
+			delete(live, x)
+			tw.Remove(ys, x)
+		} else {
+			live[x] = struct{}{}
+			tw.Add(ys, x)
+		}
+	}
+	final := make([]uint64, 0, len(live))
+	for x := range live {
+		final = append(final, x)
+	}
+	want := tw.Sketch(final)
+	for i := range want {
+		if ys[i] != want[i] {
+			t.Fatalf("sketch slot %d: incremental %d != fresh %d", i, ys[i], want[i])
+		}
+	}
+	// Removing everything must return the sketch to all-zero exactly.
+	for x := range live {
+		tw.Remove(ys, x)
+	}
+	for i, y := range ys {
+		if y != 0 {
+			t.Fatalf("sketch slot %d = %d after removing every element; want 0", i, y)
+		}
+	}
+}

@@ -67,6 +67,16 @@ func (t *ToW) SketchInto(ys []int64, set []uint64) {
 	}
 }
 
+// Add updates the sketch vector ys (length ℓ) with one new element:
+// ys ← ys + f(x). The ToW sketch is a linear function of the set's
+// indicator vector, so a long-lived set handle can maintain its sketch
+// under mutation in O(ℓ) per element instead of re-sketching O(|S|·ℓ).
+func (t *ToW) Add(ys []int64, x uint64) { t.bank.AddSigns(x, ys) }
+
+// Remove cancels one element's contribution from the sketch vector ys:
+// ys ← ys − f(x). It is the exact inverse of Add.
+func (t *ToW) Remove(ys []int64, x uint64) { t.bank.SubSigns(x, ys) }
+
 // Estimate combines the two parties' sketch vectors into the unbiased
 // estimate d̂ = (1/ℓ)·Σ (Y_i(A) − Y_i(B))².
 func (t *ToW) Estimate(ya, yb []int64) (float64, error) {

@@ -254,3 +254,22 @@ func (bk *FourWiseBank) AddSigns(x uint64, ys []int64) {
 		ys[i] += 1 - 2*int64(r&1)
 	}
 }
+
+// SubSigns subtracts every member's ±1 sign of x from the matching slot of
+// ys. Because the signs are ±1 and the accumulation is plain addition,
+// SubSigns(x) exactly cancels a prior AddSigns(x) — the property that makes
+// a sign-sum sketch incrementally maintainable under element removal.
+func (bk *FourWiseBank) SubSigns(x uint64, ys []int64) {
+	x %= mersenne61
+	x2 := mulmod61(x, x)
+	x3 := mulmod61(x2, x)
+	cs, ds := bk.c, bk.d
+	for i, ai := range bk.a {
+		r := mulmod61(ai, x3) + mulmod61(bk.b[i], x2) + mulmod61(cs[i], x) + ds[i]
+		r = (r & mersenne61) + (r >> 61)
+		if r >= mersenne61 {
+			r -= mersenne61
+		}
+		ys[i] -= 1 - 2*int64(r&1)
+	}
+}

@@ -37,6 +37,12 @@ type Hash struct {
 // New returns an empty multiset hash under seed.
 func New(seed uint64) *Hash { return &Hash{seed: seed} }
 
+// FromDigest returns a Hash whose accumulator resumes from a previously
+// computed digest — the incremental continuation a cached whole-set digest
+// enables: H(A △ D) is derived from the stored H(A) by toggling only the
+// elements of D instead of re-hashing all of A.
+func FromDigest(seed uint64, d Digest) *Hash { return &Hash{seed: seed, acc: d} }
+
 // elementDigest expands x into a 256-bit pseudorandom value using four
 // domain-separated xxHash64 invocations whitened through SplitMix64. This
 // is the "one-way hash applied to each element first" of §2.2.3 footnote 1.

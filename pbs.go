@@ -18,16 +18,34 @@
 //
 // Reconcile runs the full pipeline: a Tug-of-War estimate of d = |A△B|,
 // parameter optimization via the paper's Markov-chain framework, and the
-// multi-round PBS protocol. For real deployments across a network, either
-// run the complete wire protocol with SyncInitiator/SyncResponder (see
-// examples/filesync), drive NewInitiator/NewResponder endpoints over
-// your own transport (see examples/kvsync), or stand up a concurrent
-// Server that many Clients reconcile against over TCP (see
-// examples/serversync and cmd/pbs-serve).
+// multi-round PBS protocol.
+//
+// # The Set API
+//
+// The primary surface is the Set handle: a long-lived, mutable,
+// concurrency-safe set that keeps its estimator sketch, validated
+// snapshot, and group partitions warm across reconciliations, and exposes
+// every protocol role with context cancellation and functional options:
+//
+//	set, _ := pbs.NewSet(mine, pbs.WithSeed(42))
+//	res, err := set.Sync(ctx, conn,
+//		pbs.WithOnDelta(func(elems []uint64, round int) {
+//			apply(elems) // differences stream in as group pairs verify
+//		}))
+//
+// Set.Sync initiates over any connection, Set.Respond answers a single
+// peer, Set.Serve runs a concurrent server on a listener, and
+// Set.Reconcile runs both endpoints in process. See examples/serversync
+// and cmd/pbs-serve for deployments, and the README migration guide for
+// the mapping from the pre-Set entry points (SyncInitiator/SyncResponder,
+// Client.Sync, NewInitiator/NewResponder), which remain supported as thin
+// wrappers with byte-identical wire behavior.
 package pbs
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"pbs/internal/core"
 	"pbs/internal/estimator"
@@ -106,7 +124,46 @@ func (o *Options) withDefaults() Options {
 	if opt.Gamma == 0 {
 		opt.Gamma = estimator.DefaultGamma
 	}
+	if opt.SigBits == 0 {
+		opt.SigBits = core.DefaultSigBits
+	}
 	return opt
+}
+
+// validate rejects nonsensical option values at the API boundary with a
+// clear pbs-prefixed error, instead of letting them surface as a deep
+// internal/core or estimator failure mid-protocol. It runs after
+// withDefaults, so zero values have already been resolved.
+func (o Options) validate() error {
+	switch {
+	case o.Delta < 0:
+		return fmt.Errorf("pbs: Delta must not be negative (got %d)", o.Delta)
+	case o.TargetRounds < 0:
+		return fmt.Errorf("pbs: TargetRounds must not be negative (got %d)", o.TargetRounds)
+	case math.IsNaN(o.TargetSuccess) || o.TargetSuccess < 0 || o.TargetSuccess >= 1:
+		return fmt.Errorf("pbs: TargetSuccess must be a probability in [0, 1) (got %v)", o.TargetSuccess)
+	case o.SigBits < 8 || o.SigBits > 64:
+		return fmt.Errorf("pbs: SigBits must be in [8, 64] (got %d)", o.SigBits)
+	case o.EstimatorSketches < 0:
+		return fmt.Errorf("pbs: EstimatorSketches must not be negative (got %d)", o.EstimatorSketches)
+	case math.IsNaN(o.Gamma) || o.Gamma < 0:
+		return fmt.Errorf("pbs: Gamma must not be negative (got %v)", o.Gamma)
+	case o.KnownD < 0:
+		return fmt.Errorf("pbs: KnownD must not be negative (got %d)", o.KnownD)
+	case o.Parallelism < 0:
+		return fmt.Errorf("pbs: Parallelism must not be negative (got %d)", o.Parallelism)
+	}
+	return nil
+}
+
+// withDefaultsValidated is the standard entry-point resolution: defaults
+// applied, then validated.
+func (o *Options) withDefaultsValidated() (Options, error) {
+	opt := o.withDefaults()
+	if err := opt.validate(); err != nil {
+		return Options{}, err
+	}
+	return opt, nil
 }
 
 func (o Options) coreConfig() core.Config {
@@ -147,40 +204,32 @@ type Result struct {
 
 // Reconcile learns local △ remote. It simulates both endpoints in process,
 // which is the mode used by tests, examples, and the benchmark harness;
-// network deployments should instead run a Session per side.
+// network deployments should instead use Set.Sync / Set.Serve.
+//
+// Reconcile is a thin wrapper over the Set API — equivalent to building
+// two throwaway Sets and calling Set.Reconcile. Callers reconciling the
+// same data repeatedly should hold on to the Sets instead, which keeps the
+// validated snapshot and estimator sketch warm across calls.
 func Reconcile(local, remote []uint64, o *Options) (*Result, error) {
-	opt := o.withDefaults()
-	d := opt.KnownD
-	estBytes := 0
-	if d <= 0 {
-		tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
-		if err != nil {
-			return nil, err
-		}
-		var bits int
-		d, bits, err = tow.EstimateD(local, remote, opt.Gamma)
-		if err != nil {
-			return nil, err
-		}
-		estBytes = (bits + 7) / 8
-	}
-	plan, err := core.NewPlan(d, opt.coreConfig())
+	a, err := NewSet(local, withBaseOptions(o))
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Reconcile(local, remote, plan)
+	b, err := NewSet(remote, withBaseOptions(o))
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Difference:     res.Difference,
-		Complete:       res.Complete,
-		Rounds:         res.Stats.Rounds,
-		EstimatedD:     d,
-		PayloadBytes:   res.Stats.TotalPayloadBytes(),
-		WireBytes:      res.Stats.TotalWireBytes(),
-		EstimatorBytes: estBytes,
-	}, nil
+	return a.Reconcile(context.Background(), b)
+}
+
+// withBaseOptions adapts a legacy *Options (possibly nil) into the
+// functional-option form the Set constructors take.
+func withBaseOptions(o *Options) Option {
+	return func(c *setConfig) {
+		if o != nil {
+			c.opt = *o
+		}
+	}
 }
 
 // Union returns local ∪ remote given a completed reconciliation result:
@@ -207,7 +256,10 @@ type Plan = core.Plan
 // PlanFor derives a Plan for a conservative difference estimate d. Both
 // parties must call it with identical arguments.
 func PlanFor(d int, o *Options) (Plan, error) {
-	opt := o.withDefaults()
+	opt, err := o.withDefaultsValidated()
+	if err != nil {
+		return Plan{}, err
+	}
 	return core.NewPlan(d, opt.coreConfig())
 }
 
@@ -216,6 +268,11 @@ func PlanFor(d int, o *Options) (Plan, error) {
 // peer's reply to AbsorbReply; the responder (Bob) answers each message
 // with HandleRound. See examples/kvsync for a complete exchange over a
 // network-style transport.
+//
+// Session predates the Set API and remains for callers that transport the
+// round messages themselves with an out-of-band Plan agreement; new code
+// syncing over a stream should prefer Set.Sync/Set.Respond, which also
+// run the estimation phase and support cancellation and streaming deltas.
 type Session struct {
 	alice *core.Alice
 	bob   *core.Bob

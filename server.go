@@ -32,9 +32,12 @@ import (
 // SyncInitiator (via Client) talks to a Server unchanged.
 type Server struct {
 	opt ServerOptions
+	// protoOpt is opt.Protocol with defaults applied, resolved once; every
+	// session runs under it.
+	protoOpt Options
 
 	mu        sync.Mutex
-	sets      map[string]*SharedSet
+	sets      map[string]setSource
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	closed    bool
@@ -136,12 +139,33 @@ type ServerStats struct {
 	Rounds    int64 // protocol rounds answered in completed sessions
 }
 
+// setSource is a registry entry: something that can produce the immutable
+// SharedSet view a new session reconciles against, plus the protocol
+// options sessions against it run under. An immutable SharedSet is its own
+// (constant) source; a mutable Set returns its current view, rebuilt
+// lazily after mutations.
+type setSource interface {
+	sharedView() (*SharedSet, error)
+	sessionOptions() Options
+}
+
+// setWithOptions overrides the session options of a registered Set — how
+// Set.Serve applies per-call options to the sessions a server admits.
+type setWithOptions struct {
+	set *Set
+	opt Options
+}
+
+func (sw setWithOptions) sharedView() (*SharedSet, error) { return sw.set.sharedView() }
+func (sw setWithOptions) sessionOptions() Options         { return sw.opt }
+
 // NewServer returns a Server with an empty set registry. Register at least
 // one set (typically DefaultSetName) before calling Serve.
 func NewServer(opt ServerOptions) *Server {
 	return &Server{
 		opt:       opt,
-		sets:      make(map[string]*SharedSet),
+		protoOpt:  opt.Protocol.withDefaults(),
+		sets:      make(map[string]setSource),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
@@ -187,23 +211,75 @@ func (s *Server) RegisterShared(name string, ss *SharedSet) error {
 	return nil
 }
 
+// RegisterSet publishes a live, mutable Set under name. Unlike Register
+// and RegisterShared — which pin an immutable snapshot at registration
+// time — sessions admitted after a mutation see the mutated set: each
+// session takes the Set's current immutable view at admission (sessions
+// already in flight keep the view they started with), and the view rebuild
+// after a mutation is amortized across all sessions until the next one.
+//
+// Sessions against the set run under the Set's own options; those must
+// agree with the server's protocol options on the structural fields
+// (Seed, SigBits, EstimatorSketches) that bind the Set's cached snapshot
+// and sketch.
+func (s *Server) RegisterSet(name string, set *Set) error {
+	if err := s.protoOpt.validate(); err != nil {
+		return err
+	}
+	want := s.protoOpt
+	got := set.cfg.opt
+	switch {
+	case got.Seed != want.Seed:
+		return fmt.Errorf("pbs: set seed %#x does not match server seed %#x", got.Seed, want.Seed)
+	case got.SigBits != want.SigBits:
+		return fmt.Errorf("pbs: set sigBits %d does not match server sigBits %d", got.SigBits, want.SigBits)
+	case got.EstimatorSketches != want.EstimatorSketches:
+		return fmt.Errorf("pbs: set sketch count %d does not match server %d", got.EstimatorSketches, want.EstimatorSketches)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets[name] = set
+	return nil
+}
+
+// registerSource publishes a pre-checked source directly (Set.Serve's
+// per-call option override path).
+func (s *Server) registerSource(name string, src setSource) error {
+	if err := src.sessionOptions().validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets[name] = src
+	return nil
+}
+
 // startSession resolves name and admits a new responder session. The
 // shutdown check, the registry lookup, and the sessActive increment happen
 // under one lock so Shutdown can never sample a clean drain while a
-// session is half-admitted. A nil session comes with the rejection reason
-// and whether it was a shutdown rejection (counted rejected, not failed).
+// session is half-admitted; the view materialization (which may be O(|S|)
+// right after a mutation of a registered Set) happens outside it. A nil
+// session comes with the rejection reason and whether it was a shutdown
+// rejection (counted rejected, not failed).
 func (s *Server) startSession(name string) (sess *ResponderSession, reason string, shuttingDown bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, "server shutting down", true
 	}
-	ss := s.sets[name]
-	if ss == nil {
+	src := s.sets[name]
+	if src == nil {
+		s.mu.Unlock()
 		return nil, fmt.Sprintf("unknown set %q", name), false
 	}
 	s.sessActive.Add(1)
-	return ss.newServerSession(), "", false
+	s.mu.Unlock()
+	ss, err := src.sharedView()
+	if err != nil {
+		s.sessActive.Add(-1)
+		return nil, err.Error(), false
+	}
+	return ss.newServerSession(src.sessionOptions()), "", false
 }
 
 // admit starts a session against the named set, handling the rejection

@@ -80,12 +80,17 @@ func (o Options) boundEstimate(dhatF float64) (uint64, error) {
 }
 
 // InitiatorSession is the non-blocking initiator (Alice) state machine.
-// Construct it with NewInitiatorSession, send the returned opening frames,
-// then feed every frame received from the responder to Step and send
-// whatever it returns, until done.
+// Construct it with NewInitiatorSession (or take it from a Set via
+// Set.Sync), send the returned opening frames, then feed every frame
+// received from the responder to Step and send whatever it returns, until
+// done. The session reconciles against an immutable SharedSet view, so the
+// validated snapshot, the ToW sketch, and the group partitions are all
+// reusable across sessions — initiators get the same amortization servers
+// do.
 type InitiatorSession struct {
-	opt Options
-	set []uint64
+	opt     Options
+	shared  *SharedSet
+	onDelta func(elems []uint64, round int)
 
 	state int
 	alice *core.Alice
@@ -108,21 +113,32 @@ const (
 )
 
 // NewInitiatorSession starts an initiator session for set and returns the
-// opening frames (the ToW estimate) to send to the responder.
+// opening frames (the ToW estimate) to send to the responder. For repeated
+// syncs of the same (possibly mutating) set, build a Set once instead — it
+// keeps the validated snapshot and the ToW sketch warm across sessions.
 func NewInitiatorSession(set []uint64, o *Options) (*InitiatorSession, []Frame, error) {
-	opt := o.withDefaults()
-	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
+	ss, err := NewSharedSet(set, o)
 	if err != nil {
 		return nil, nil, err
 	}
-	est := encodeSketches(tow.Sketch(set))
+	s, opening := ss.newInitiatorSession(ss.opt, nil)
+	return s, opening, nil
+}
+
+// newInitiatorSession starts an initiator session over the shared view.
+// opt must agree with ss.opt on Seed, SigBits, and EstimatorSketches (the
+// fields the cached snapshot and sketch were built under); the remaining
+// fields may vary per call.
+func (ss *SharedSet) newInitiatorSession(opt Options, onDelta func(elems []uint64, round int)) (*InitiatorSession, []Frame) {
+	est := encodeSketches(ss.towSketch())
 	s := &InitiatorSession{
 		opt:      opt,
-		set:      set,
+		shared:   ss,
+		onDelta:  onDelta,
 		state:    initWantEstimateReply,
 		estBytes: len(est),
 	}
-	return s, []Frame{{msgEstimate, est}}, nil
+	return s, []Frame{{msgEstimate, est}}
 }
 
 // Step advances the session with one frame received from the responder.
@@ -153,9 +169,12 @@ func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if err != nil {
 			return nil, false, err
 		}
-		alice, err := core.NewAlice(s.set, plan)
+		alice, err := core.NewAliceFromSnapshot(s.shared.snap, plan)
 		if err != nil {
 			return nil, false, err
+		}
+		if s.onDelta != nil {
+			alice.OnVerifiedDelta(s.onDelta)
 		}
 		s.plan, s.alice = plan, alice
 		return s.advance()
@@ -233,16 +252,12 @@ func (s *InitiatorSession) finish() ([]Frame, bool, error) {
 
 // expectedDigest is the multiset-hash digest of what the responder's set
 // must be if the learned difference is right: the local set with the
-// difference toggled in (§2.2.3).
+// difference toggled in (§2.2.3). It resumes from the shared view's cached
+// whole-set digest, so only the |D̂| toggles are hashed here.
 func (s *InitiatorSession) expectedDigest() msethash.Digest {
-	h := msethash.New(s.opt.Seed ^ verifySeedTweak)
-	h.AddSet(s.set)
-	in := make(map[uint64]struct{}, len(s.set))
-	for _, x := range s.set {
-		in[x] = struct{}{}
-	}
+	h := msethash.FromDigest(s.opt.Seed^verifySeedTweak, s.shared.verifyDigest())
 	for _, x := range s.res.Difference {
-		if _, present := in[x]; present {
+		if s.shared.snap.Contains(x) {
 			h.Remove(x)
 		} else {
 			h.Add(x)
@@ -280,7 +295,10 @@ type SharedSet struct {
 // NewSharedSet validates set once under o and prepares it for concurrent
 // responder sessions.
 func NewSharedSet(set []uint64, o *Options) (*SharedSet, error) {
-	opt := o.withDefaults()
+	opt, err := o.withDefaultsValidated()
+	if err != nil {
+		return nil, err
+	}
 	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
 	if err != nil {
 		return nil, err
@@ -316,7 +334,13 @@ func (ss *SharedSet) verifyDigest() msethash.Digest {
 // NewSession returns a responder session reconciling against the shared
 // set under the options the set was prepared with.
 func (ss *SharedSet) NewSession() *ResponderSession {
-	return &ResponderSession{opt: ss.opt, shared: ss}
+	return ss.newResponderSession(ss.opt)
+}
+
+// newResponderSession returns a responder session under opt, which must
+// agree with ss.opt on Seed, SigBits, and EstimatorSketches.
+func (ss *SharedSet) newResponderSession(opt Options) *ResponderSession {
+	return &ResponderSession{opt: opt, shared: ss}
 }
 
 // newServerSession is NewSession with the Server's untrusted-peer posture:
@@ -327,9 +351,10 @@ func (ss *SharedSet) NewSession() *ResponderSession {
 // server tens of megabytes per session. Standalone SyncResponder peers
 // keep the plain default so asymmetric peer-to-peer reconciliation (tiny
 // local set, huge remote difference) still works; servers that need that
-// shape must set MaxD explicitly.
-func (ss *SharedSet) newServerSession() *ResponderSession {
-	opt := ss.opt
+// shape must set MaxD explicitly. opt is the server's protocol
+// configuration (for sets registered as immutable SharedSets it is
+// identical to ss.opt, which registration enforces).
+func (ss *SharedSet) newServerSession(opt Options) *ResponderSession {
 	if opt.MaxD == 0 {
 		if cap := 64*ss.snap.Len() + 1024; cap < DefaultMaxD {
 			opt.MaxD = cap
@@ -337,6 +362,11 @@ func (ss *SharedSet) newServerSession() *ResponderSession {
 	}
 	return &ResponderSession{opt: opt, shared: ss}
 }
+
+// sharedView and sessionOptions let an immutable SharedSet serve as a
+// Server registry source alongside the mutable Set.
+func (ss *SharedSet) sharedView() (*SharedSet, error) { return ss, nil }
+func (ss *SharedSet) sessionOptions() Options         { return ss.opt }
 
 // ResponderSession is the non-blocking responder (Bob) state machine: feed
 // every received frame to Step and send back whatever it returns. A

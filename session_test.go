@@ -2,6 +2,7 @@ package pbs
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net"
 	"sync"
@@ -40,12 +41,14 @@ func frameBytes(frames []Frame) []byte {
 	return buf.Bytes()
 }
 
-// TestSessionEngineWireEquivalence drives the same reconciliation twice —
-// once through the blocking SyncInitiator/SyncResponder wrappers over a
-// pipe, once by stepping InitiatorSession/ResponderSession directly — and
-// requires byte-identical streams in both directions plus identical
-// results. This is the refactor's contract: the engine IS the protocol,
-// the wrappers only move frames.
+// TestSessionEngineWireEquivalence drives the same reconciliation three
+// ways — through the blocking SyncInitiator/SyncResponder wrappers over a
+// pipe, by stepping InitiatorSession/ResponderSession directly, and
+// through the Set API (Set.Sync against Set.Respond, with a WithOnDelta
+// observer installed) — and requires byte-identical streams in both
+// directions plus identical results. This is the redesign's contract: the
+// engine IS the protocol, every surface only moves frames, and the
+// streaming-delta observer never perturbs the wire.
 func TestSessionEngineWireEquivalence(t *testing.T) {
 	for _, strong := range []bool{false, true} {
 		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 80, Seed: 51})
@@ -135,6 +138,57 @@ func TestSessionEngineWireEquivalence(t *testing.T) {
 			engRes.EstimatedD != wrapRes.EstimatedD {
 			t.Fatalf("strong=%v: engine result %+v != wrapper result %+v", strong, engRes, wrapRes)
 		}
+
+		// The same exchange again through the redesigned surface: Set.Sync
+		// against Set.Respond, with the streaming-delta observer on. Old
+		// API and new API must put exactly the same bytes on the wire.
+		setA, err := NewSet(p.A, WithOptions(*opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		setB, err := NewSet(p.B, WithOptions(*opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		na, nb := net.Pipe()
+		nSide := &teeRW{ReadWriter: na}
+		nrSide := &teeRW{ReadWriter: nb}
+		respErr = make(chan error, 1)
+		go func() {
+			defer nb.Close()
+			respErr <- setB.Respond(context.Background(), nrSide)
+		}()
+		var streamed []uint64
+		newRes, err := setA.Sync(context.Background(), nSide,
+			WithOnDelta(func(elems []uint64, round int) {
+				streamed = append(streamed, elems...)
+			}))
+		na.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-respErr; err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(nSide.bytes(), iStream) {
+			t.Fatalf("strong=%v: Set.Sync wire stream diverges from old API (%d vs %d bytes)",
+				strong, len(nSide.bytes()), len(iStream))
+		}
+		if !bytes.Equal(nrSide.bytes(), rStream) {
+			t.Fatalf("strong=%v: Set.Respond wire stream diverges from old API (%d vs %d bytes)",
+				strong, len(nrSide.bytes()), len(rStream))
+		}
+		if len(newRes.Difference) != len(wrapRes.Difference) ||
+			newRes.Complete != wrapRes.Complete ||
+			newRes.Rounds != wrapRes.Rounds ||
+			newRes.WireBytes != wrapRes.WireBytes ||
+			newRes.PayloadBytes != wrapRes.PayloadBytes ||
+			newRes.EstimatorBytes != wrapRes.EstimatorBytes ||
+			newRes.EstimatedD != wrapRes.EstimatedD {
+			t.Fatalf("strong=%v: Set result %+v != wrapper result %+v", strong, newRes, wrapRes)
+		}
+		// The streamed deltas must reconstruct the final difference exactly.
+		assertSameSet(t, streamed, newRes.Difference)
 	}
 }
 

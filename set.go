@@ -1,0 +1,538 @@
+package pbs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pbs/internal/core"
+	"pbs/internal/estimator"
+)
+
+// Set is a long-lived, mutable, concurrency-safe set handle and the primary
+// entry point of the package: build it once, mutate it with Add/Remove as
+// the underlying data changes, and reconcile it any number of times — as
+// the initiator (Sync), the responder (Respond), a concurrent server
+// (Serve), or fully in process (Reconcile).
+//
+// The handle is what makes repeated reconciliation cheap. Element
+// validation happens once, at insertion. The Tug-of-War estimator sketch is
+// maintained incrementally — O(ℓ) per Add/Remove, never re-sketched — so
+// the estimation phase of every sync starts for free. The validated
+// snapshot, the per-plan group partitions, and the strong-verification
+// digest are computed lazily and cached until the next mutation, then
+// shared read-only by every concurrent session. This is the amortization
+// that lets one process carry thousands of syncs per second against the
+// same data (see Server), now available to both protocol roles.
+//
+// All methods are safe for concurrent use. Mutating the set while a sync is
+// in flight is safe: each sync operates on the immutable view current when
+// it started, and later syncs pick up the mutations.
+type Set struct {
+	cfg setConfig
+	tow *estimator.ToW
+
+	mu    sync.RWMutex
+	elems map[uint64]struct{}
+	// sketch is the incrementally maintained ToW sketch, built on the
+	// first operation that needs an estimate (nil until then, so handles
+	// that only ever reconcile with WithKnownD never pay for it) and kept
+	// exact under Add/Remove afterwards.
+	sketch []int64
+	shared *SharedSet // immutable view, nil when stale
+}
+
+// setConfig is the resolved configuration a Set call runs under: the
+// protocol Options plus the call-scoped extras that functional options
+// control. Options given to NewSet become the Set's defaults; options given
+// to Sync/Serve/Respond/Reconcile override them for that call only.
+type setConfig struct {
+	opt     Options
+	onDelta func(elems []uint64, round int)
+	setName string
+
+	maxSessions       int
+	idleTimeout       time.Duration
+	sessionByteBudget int64
+	sessionMaxRounds  int
+}
+
+// Option configures a Set or a single reconciliation call. Structural
+// options (WithSeed, WithSigBits, WithEstimatorSketches) bind the cached
+// snapshot and sketch and are therefore fixed at NewSet; passing a
+// different value to a per-call site returns an error from that call.
+type Option func(*setConfig)
+
+// WithOptions applies a flat Options struct wholesale — the migration
+// bridge from the pre-Set API. Later options override individual fields.
+func WithOptions(o Options) Option { return func(c *setConfig) { c.opt = o } }
+
+// WithSeed sets the shared protocol hash seed. Both parties must agree.
+// Structural: fixed at NewSet.
+func WithSeed(seed uint64) Option { return func(c *setConfig) { c.opt.Seed = seed } }
+
+// WithSigBits sets the element signature width log|U| in bits (8..64).
+// Structural: fixed at NewSet.
+func WithSigBits(bits uint) Option { return func(c *setConfig) { c.opt.SigBits = bits } }
+
+// WithEstimatorSketches sets the ToW sketch count ℓ (default 128).
+// Structural: fixed at NewSet.
+func WithEstimatorSketches(l int) Option {
+	return func(c *setConfig) { c.opt.EstimatorSketches = l }
+}
+
+// WithGamma sets the conservative scale applied to the difference estimate
+// (default 1.38).
+func WithGamma(g float64) Option { return func(c *setConfig) { c.opt.Gamma = g } }
+
+// WithDelta sets the target average number of distinct elements per group.
+func WithDelta(delta int) Option { return func(c *setConfig) { c.opt.Delta = delta } }
+
+// WithTargetRounds sets the round budget r the parameter optimizer plans
+// for.
+func WithTargetRounds(r int) Option { return func(c *setConfig) { c.opt.TargetRounds = r } }
+
+// WithTargetSuccess sets the probability p0 of completing within the
+// target rounds.
+func WithTargetSuccess(p float64) Option {
+	return func(c *setConfig) { c.opt.TargetSuccess = p }
+}
+
+// WithKnownD asserts |A△B| <= d, skipping the estimation phase where the
+// protocol allows it (in-process Reconcile; wire sessions always run the
+// one-round-trip estimate exchange so both endpoints derive the plan from
+// the same value).
+func WithKnownD(d int) Option { return func(c *setConfig) { c.opt.KnownD = d } }
+
+// WithMaxD caps the difference estimate d̂ a wire session will accept
+// before deriving a plan from it — the hostile-peer allocation guard. See
+// Options.MaxD for the full semantics.
+func WithMaxD(d int) Option { return func(c *setConfig) { c.opt.MaxD = d } }
+
+// WithMaxRounds caps protocol rounds (0 selects the DefaultMaxRounds
+// safety cap).
+func WithMaxRounds(n int) Option { return func(c *setConfig) { c.opt.MaxRounds = n } }
+
+// WithStrongVerify toggles the §2.2.3 strong multiset-hash verification
+// exchange at the end of the session.
+func WithStrongVerify(on bool) Option { return func(c *setConfig) { c.opt.StrongVerify = on } }
+
+// WithParallelism sets the local worker count for per-group encoding and
+// decoding (0 = GOMAXPROCS). Purely local: it never changes wire bytes.
+func WithParallelism(n int) Option { return func(c *setConfig) { c.opt.Parallelism = n } }
+
+// WithOnDelta streams the learned difference as it is learned: fn is
+// invoked after each round with the elements of every group pair that
+// passed checksum verification in that round, in sorted order, plus the
+// 1-based round number. PBS is piecewise reconciliable — each group pair
+// decodes independently — so the vast majority of differences arrive in
+// the first round even when a few groups need more; WithOnDelta is that
+// property expressed in the API, instead of buried until Result.
+//
+// fn is called from the session's own goroutine, never concurrently, and
+// only for rounds that verified at least one new element; the batch may be
+// retained. It applies to the initiator-side calls (Sync, Reconcile) —
+// responders do not learn the difference. The callback must not block for
+// long: the next round's message is not sent until it returns.
+func WithOnDelta(fn func(elems []uint64, round int)) Option {
+	return func(c *setConfig) { c.onDelta = fn }
+}
+
+// WithSetName names a registry entry. On Sync it selects the remote set to
+// reconcile against (sent as the session's opening hello frame; empty
+// means the server's DefaultSetName). On Serve it additionally publishes
+// the served set under this name alongside DefaultSetName. Respond and
+// Reconcile have no registry and ignore it.
+func WithSetName(name string) Option { return func(c *setConfig) { c.setName = name } }
+
+// WithIdleTimeout bounds how long a sync waits for a single frame (and for
+// a single frame write): a peer silent for longer fails the session with a
+// timeout instead of hanging it forever. It requires a deadline-capable
+// connection (net.Conn); on a bare io.ReadWriter it is ignored. For Serve
+// it is the per-session idle deadline (ServerOptions.IdleTimeout:
+// 0 selects DefaultIdleTimeout, negative disables). For Sync and Respond,
+// 0 means no idle bound.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(c *setConfig) { c.idleTimeout = d }
+}
+
+// WithMaxSessions caps a Serve call's concurrently open connections
+// (ServerOptions.MaxSessions semantics).
+func WithMaxSessions(n int) Option { return func(c *setConfig) { c.maxSessions = n } }
+
+// WithSessionByteBudget caps the total wire bytes of one served session
+// (ServerOptions.SessionByteBudget semantics).
+func WithSessionByteBudget(n int64) Option {
+	return func(c *setConfig) { c.sessionByteBudget = n }
+}
+
+// WithSessionMaxRounds caps the rounds answered in one served session
+// (ServerOptions.SessionMaxRounds semantics).
+func WithSessionMaxRounds(n int) Option {
+	return func(c *setConfig) { c.sessionMaxRounds = n }
+}
+
+// sigMaskFor returns the valid-element mask for a signature width.
+func sigMaskFor(bits uint) uint64 {
+	if bits == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << bits) - 1
+}
+
+// NewSet validates elems once and returns a reusable set handle. Elements
+// must be nonzero, distinct, and fit in the configured SigBits. The one-off
+// costs are O(|S|) validation here and the O(|S|·ℓ) initial estimator
+// sketch on the first sync that estimates; after that, mutation costs O(ℓ)
+// per element and every reconciliation starts from the warm state.
+func NewSet(elems []uint64, opts ...Option) (*Set, error) {
+	var cfg setConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.opt = cfg.opt.withDefaults()
+	if err := cfg.opt.validate(); err != nil {
+		return nil, err
+	}
+	tow, err := estimator.NewToW(cfg.opt.EstimatorSketches, cfg.opt.Seed^towSeedTweak)
+	if err != nil {
+		return nil, err
+	}
+	mask := sigMaskFor(cfg.opt.SigBits)
+	set := make(map[uint64]struct{}, len(elems))
+	for _, x := range elems {
+		if x == 0 || x&^mask != 0 {
+			return nil, fmt.Errorf("pbs: element %#x outside %d-bit universe (0 excluded)", x, cfg.opt.SigBits)
+		}
+		if _, dup := set[x]; dup {
+			return nil, fmt.Errorf("pbs: duplicate element %#x", x)
+		}
+		set[x] = struct{}{}
+	}
+	return &Set{
+		cfg:   cfg,
+		tow:   tow,
+		elems: set,
+	}, nil
+}
+
+// Len returns the current number of elements.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.elems)
+}
+
+// Contains reports whether x is currently in the set.
+func (s *Set) Contains(x uint64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.elems[x]
+	return ok
+}
+
+// Elements returns a copy of the current elements, in no particular order.
+func (s *Set) Elements() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, 0, len(s.elems))
+	for x := range s.elems {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Add inserts elements, returning how many were actually new (already
+// present elements are no-ops). Invalid elements — zero, or wider than the
+// set's SigBits — fail the whole call before anything is inserted. Each
+// insertion updates the estimator sketch incrementally in O(ℓ).
+func (s *Set) Add(xs ...uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mask := sigMaskFor(s.cfg.opt.SigBits)
+	for _, x := range xs {
+		if x == 0 || x&^mask != 0 {
+			return 0, fmt.Errorf("pbs: element %#x outside %d-bit universe (0 excluded)", x, s.cfg.opt.SigBits)
+		}
+	}
+	added := 0
+	for _, x := range xs {
+		if _, ok := s.elems[x]; ok {
+			continue
+		}
+		s.elems[x] = struct{}{}
+		if s.sketch != nil {
+			s.tow.Add(s.sketch, x)
+		}
+		added++
+	}
+	if added > 0 {
+		s.shared = nil
+	}
+	return added, nil
+}
+
+// Remove deletes elements, returning how many were actually present.
+// Absent elements are no-ops. Each removal updates the estimator sketch
+// incrementally in O(ℓ) — the ToW sketch is a linear ±1 sketch, so removal
+// is exact cancellation, not recomputation.
+func (s *Set) Remove(xs ...uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, x := range xs {
+		if _, ok := s.elems[x]; !ok {
+			continue
+		}
+		delete(s.elems, x)
+		if s.sketch != nil {
+			s.tow.Remove(s.sketch, x)
+		}
+		removed++
+	}
+	if removed > 0 {
+		s.shared = nil
+	}
+	return removed
+}
+
+// sharedView returns the cached immutable view of the set (with its
+// estimator sketch materialized), rebuilding it after a mutation. The
+// rebuild collects the elements and re-derives the snapshot, but never
+// re-validates elements (they were validated at insertion) and never
+// re-sketches (the sketch is maintained incrementally); the per-plan group
+// partitions and the verification digest are then re-cached lazily inside
+// the view as sessions need them.
+func (s *Set) sharedView() (*SharedSet, error) {
+	return s.view(true)
+}
+
+// view returns the cached immutable view. withSketch additionally
+// materializes the set's incrementally maintained ToW sketch into the
+// view; callers that cannot need an estimate (a known-d in-process
+// reconcile) pass false and skip the sketch entirely.
+func (s *Set) view(withSketch bool) (*SharedSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shared == nil {
+		elems := make([]uint64, 0, len(s.elems))
+		for x := range s.elems {
+			elems = append(elems, x)
+		}
+		snap, err := core.NewValidatedSnapshot(elems, s.cfg.opt.coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		s.shared = &SharedSet{opt: s.cfg.opt, snap: snap, tow: s.tow}
+	}
+	if withSketch {
+		if s.sketch == nil {
+			// First estimate-needing operation on this handle: build the
+			// sketch once; Add/Remove keep it exact from here on.
+			ys := make([]int64, s.tow.L())
+			for x := range s.elems {
+				s.tow.Add(ys, x)
+			}
+			s.sketch = ys
+		}
+		sketch := append([]int64(nil), s.sketch...)
+		// A no-op if a session already forced the view's own lazy
+		// computation — which used the same immutable snapshot, so the
+		// values agree.
+		s.shared.sketchOnce.Do(func() { s.shared.sketch = sketch })
+	}
+	return s.shared, nil
+}
+
+// sessionOptions makes a Set a Server registry source (see RegisterSet):
+// sessions admitted against it run under the Set's own options.
+func (s *Set) sessionOptions() Options { return s.cfg.opt }
+
+// callConfig resolves one call's configuration: the Set's defaults with the
+// per-call options applied, rejecting changes to the structural fields the
+// cached state was built under.
+func (s *Set) callConfig(opts []Option) (setConfig, error) {
+	cfg := s.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// Re-resolve defaults: zero values introduced by per-call options
+	// (e.g. a wholesale WithOptions bridge with SigBits or Gamma unset)
+	// mean "default", exactly as they do at NewSet.
+	cfg.opt = (&cfg.opt).withDefaults()
+	base := s.cfg.opt
+	switch {
+	case cfg.opt.Seed != base.Seed:
+		return setConfig{}, fmt.Errorf("pbs: Seed is structural and fixed at NewSet (have %#x, call asked for %#x)", base.Seed, cfg.opt.Seed)
+	case cfg.opt.SigBits != base.SigBits:
+		return setConfig{}, fmt.Errorf("pbs: SigBits is structural and fixed at NewSet (have %d, call asked for %d)", base.SigBits, cfg.opt.SigBits)
+	case cfg.opt.EstimatorSketches != base.EstimatorSketches:
+		return setConfig{}, fmt.Errorf("pbs: EstimatorSketches is structural and fixed at NewSet (have %d, call asked for %d)", base.EstimatorSketches, cfg.opt.EstimatorSketches)
+	}
+	if err := cfg.opt.validate(); err != nil {
+		return setConfig{}, err
+	}
+	return cfg, nil
+}
+
+// Sync reconciles this set against a remote responder over conn, as the
+// initiator (the side that learns the difference). It blocks until the
+// exchange completes, the context is cancelled or expires, or the
+// connection fails. The remote side runs Respond, Serve, or a
+// server-driven responder session with matching options.
+//
+// ctx cancellation and deadline are plumbed into the connection's
+// read/write deadlines when conn supports them (any net.Conn does), so a
+// cancelled sync unblocks immediately and returns ctx.Err(); on a bare
+// io.ReadWriter, cancellation is only observed between frames. WithOnDelta
+// streams verified difference elements round by round; WithSetName
+// addresses a named set on a Server.
+func (s *Set) Sync(ctx context.Context, conn io.ReadWriter, opts ...Option) (*Result, error) {
+	cfg, err := s.callConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := s.sharedView()
+	if err != nil {
+		return nil, err
+	}
+	is, opening := ss.newInitiatorSession(cfg.opt, cfg.onDelta)
+	if cfg.setName != "" {
+		opening = append([]Frame{{msgHello, []byte(cfg.setName)}}, opening...)
+	}
+	res, err := runInitiator(ctx, conn, is, opening, cfg.idleTimeout)
+	if res != nil && cfg.setName != "" {
+		// The hello envelope is this side's extra cost; fold it in so
+		// WireBytes stays reconcilable with the server's BytesIn.
+		res.WireBytes += 5 + len(cfg.setName)
+	}
+	return res, err
+}
+
+// Respond serves exactly one initiator session over conn — the peer-to-peer
+// responder role (the counterpart of a remote Sync). It returns nil when
+// the initiator signals completion, and ctx.Err() if the context ends
+// first. For many concurrent sessions, use Serve instead.
+func (s *Set) Respond(ctx context.Context, conn io.ReadWriter, opts ...Option) error {
+	cfg, err := s.callConfig(opts)
+	if err != nil {
+		return err
+	}
+	ss, err := s.sharedView()
+	if err != nil {
+		return err
+	}
+	return runResponder(ctx, conn, ss.newResponderSession(cfg.opt), cfg.idleTimeout)
+}
+
+// Serve answers reconciliation sessions concurrently on ln until ctx ends,
+// then tears the server down and returns ctx.Err(). Every session
+// reconciles against this set's current immutable view (sessions in flight
+// across a mutation keep the view they started with), under the per-session
+// limits of WithMaxSessions, WithIdleTimeout, WithSessionByteBudget, and
+// WithSessionMaxRounds. For registry-style deployments serving several
+// named sets — or drain-first shutdown — use Server directly and register
+// the Set with RegisterSet.
+func (s *Set) Serve(ctx context.Context, ln net.Listener, opts ...Option) error {
+	cfg, err := s.callConfig(opts)
+	if err != nil {
+		return err
+	}
+	srv := NewServer(ServerOptions{
+		Protocol:          &cfg.opt,
+		MaxSessions:       cfg.maxSessions,
+		IdleTimeout:       cfg.idleTimeout,
+		SessionByteBudget: cfg.sessionByteBudget,
+		SessionMaxRounds:  cfg.sessionMaxRounds,
+	})
+	src := setWithOptions{set: s, opt: cfg.opt}
+	if err := srv.registerSource(DefaultSetName, src); err != nil {
+		return err
+	}
+	if cfg.setName != "" && cfg.setName != DefaultSetName {
+		if err := srv.registerSource(cfg.setName, src); err != nil {
+			return err
+		}
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		srv.Close()
+		<-serveErr
+		return ctx.Err()
+	case err := <-serveErr:
+		return err
+	}
+}
+
+// Reconcile learns this set △ other fully in process (both endpoints in
+// this address space) — the mode tests, examples, and batch pipelines use.
+// Both handles must have been built with the same structural options. The
+// context is checked between rounds. WithKnownD skips the estimation;
+// WithOnDelta streams per-round verified deltas.
+func (s *Set) Reconcile(ctx context.Context, other *Set, opts ...Option) (*Result, error) {
+	cfg, err := s.callConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	theirs := other.cfg.opt
+	if theirs.Seed != cfg.opt.Seed || theirs.SigBits != cfg.opt.SigBits ||
+		theirs.EstimatorSketches != cfg.opt.EstimatorSketches {
+		return nil, fmt.Errorf("pbs: sets were built under different structural options (seed/sigbits/sketches)")
+	}
+	d := cfg.opt.KnownD
+	needEstimate := d <= 0
+	mine, err := s.view(needEstimate)
+	if err != nil {
+		return nil, err
+	}
+	remote, err := other.view(needEstimate)
+	if err != nil {
+		return nil, err
+	}
+	estBytes := 0
+	if needEstimate {
+		dhat, err := s.tow.Estimate(mine.towSketch(), remote.towSketch())
+		if err != nil {
+			return nil, err
+		}
+		d = estimator.ConservativeD(dhat, cfg.opt.Gamma)
+		n := mine.Len()
+		if remote.Len() > n {
+			n = remote.Len()
+		}
+		estBytes = (s.tow.Bits(n) + 7) / 8
+	}
+	plan, err := core.NewPlan(d, cfg.opt.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	alice, err := core.NewAliceFromSnapshot(mine.snap, plan)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.onDelta != nil {
+		alice.OnVerifiedDelta(cfg.onDelta)
+	}
+	bob, err := core.NewBobFromSnapshot(remote.snap, plan)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.DriveContext(ctx, alice, bob, plan.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Difference:     res.Difference,
+		Complete:       res.Complete,
+		Rounds:         res.Stats.Rounds,
+		EstimatedD:     d,
+		PayloadBytes:   res.Stats.TotalPayloadBytes(),
+		WireBytes:      res.Stats.TotalWireBytes(),
+		EstimatorBytes: estBytes,
+	}, nil
+}

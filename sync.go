@@ -1,10 +1,12 @@
 package pbs
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"slices"
 	"time"
 
@@ -182,27 +184,183 @@ func syncPlan(dhatRounded uint64, opt Options) (core.Plan, error) {
 	return core.NewPlan(d, opt.coreConfig())
 }
 
-// SyncInitiator runs the full protocol over conn and learns the set
-// difference. It blocks until the exchange completes or fails. The
-// responder side must run SyncResponder (or a server-driven
-// ResponderSession) with identical Options.
-func SyncInitiator(set []uint64, conn io.ReadWriter, o *Options) (*Result, error) {
-	s, opening, err := NewInitiatorSession(set, o)
-	if err != nil {
-		return nil, err
+// deadlineConn is the deadline-capable subset of net.Conn the frame pumps
+// use to honor context cancellation and idle timeouts. Any net.Conn
+// (including net.Pipe ends) implements it.
+type deadlineConn interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
+// aLongTimeAgo is a deadline certainly in the past: setting it unblocks
+// any in-flight read or write immediately (the net/http interruption
+// idiom).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// framePump moves frames between a connection and a session under a
+// context: the context's deadline (and the optional per-frame idle bound)
+// are plumbed into the connection's read/write deadlines, and cancellation
+// poisons the deadlines so blocked I/O returns immediately. On a bare
+// io.ReadWriter without deadline support, cancellation is only observed
+// between frames.
+type framePump struct {
+	ctx         context.Context
+	conn        io.ReadWriter
+	dl          deadlineConn // nil when conn cannot take deadlines
+	idle        time.Duration
+	ctxDeadline time.Time // zero when ctx has no deadline
+	armed       bool      // a deadline was ever set on the conn
+}
+
+// newFramePump builds a pump and starts the cancellation watcher. The
+// returned stop function must be called when pumping ends; it releases the
+// watcher goroutine (guaranteeing none is leaked, cancelled or not) and
+// clears any deadline the pump set, so the caller gets its connection back
+// in the state it lent it — reusable for a follow-up protocol.
+func newFramePump(ctx context.Context, conn io.ReadWriter, idle time.Duration) (*framePump, func()) {
+	p := &framePump{ctx: ctx, conn: conn, idle: idle}
+	p.dl, _ = conn.(deadlineConn)
+	if d, ok := ctx.Deadline(); ok {
+		p.ctxDeadline = d
 	}
-	if err := writeFrames(conn, opening); err != nil {
+	var (
+		done   chan struct{}
+		exited chan struct{}
+	)
+	if p.dl != nil && ctx.Done() != nil {
+		done = make(chan struct{})
+		exited = make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-ctx.Done():
+				p.armed = true
+				p.dl.SetReadDeadline(aLongTimeAgo)
+				p.dl.SetWriteDeadline(aLongTimeAgo)
+			case <-done:
+			}
+		}()
+	}
+	stop := func() {
+		if done != nil {
+			close(done)
+			// Wait the watcher out so its poisoning cannot land after the
+			// reset below (the channels also order its p.armed write).
+			<-exited
+		}
+		if p.dl != nil && p.armed {
+			p.dl.SetReadDeadline(time.Time{})
+			p.dl.SetWriteDeadline(time.Time{})
+		}
+	}
+	return p, stop
+}
+
+// deadline returns the effective per-operation deadline: the sooner of the
+// context deadline and now+idle; zero when neither applies.
+func (p *framePump) deadline() time.Time {
+	d := p.ctxDeadline
+	if p.idle > 0 {
+		if id := time.Now().Add(p.idle); d.IsZero() || id.Before(d) {
+			d = id
+		}
+	}
+	return d
+}
+
+// armRead prepares the connection for one frame read. The post-set
+// re-check closes the race where cancellation fires between the check and
+// the deadline store: whichever of the watcher and this sequence runs
+// last leaves the poisoned deadline in place.
+func (p *framePump) armRead() {
+	if p.dl == nil {
+		return
+	}
+	if d := p.deadline(); !d.IsZero() {
+		p.armed = true
+		p.dl.SetReadDeadline(d)
+	}
+	if p.ctx.Err() != nil {
+		p.armed = true
+		p.dl.SetReadDeadline(aLongTimeAgo)
+	}
+}
+
+func (p *framePump) armWrite() {
+	if p.dl == nil {
+		return
+	}
+	if d := p.deadline(); !d.IsZero() {
+		p.armed = true
+		p.dl.SetWriteDeadline(d)
+	}
+	if p.ctx.Err() != nil {
+		p.armed = true
+		p.dl.SetWriteDeadline(aLongTimeAgo)
+	}
+}
+
+// readFrame reads one frame, honoring cancellation and deadlines.
+func (p *framePump) readFrame() (byte, []byte, error) {
+	if err := p.ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	p.armRead()
+	typ, payload, err := readFrame(p.conn)
+	if err != nil {
+		return 0, nil, p.mapErr(err)
+	}
+	return typ, payload, nil
+}
+
+// writeFrames sends every frame a session step produced, in order.
+func (p *framePump) writeFrames(frames []Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	p.armWrite()
+	return p.mapErr(writeFrames(p.conn, frames))
+}
+
+// mapErr attributes an I/O failure to the context when the context ended:
+// the poisoned-deadline interruption surfaces as a timeout error from the
+// conn, but the caller asked for cancellation and gets ctx.Err(). A
+// timeout at or past the context deadline is attributed the same way even
+// if the context's own timer has not fired yet — the conn deadline and the
+// ctx timer are armed for the same instant and can resolve in either
+// order.
+func (p *framePump) mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := p.ctx.Err(); cerr != nil {
+		return cerr
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() &&
+		!p.ctxDeadline.IsZero() && !time.Now().Before(p.ctxDeadline) {
+		return context.DeadlineExceeded
+	}
+	return err
+}
+
+// runInitiator pumps an initiator session over conn until done, the
+// context ends, or the exchange fails.
+func runInitiator(ctx context.Context, conn io.ReadWriter, s *InitiatorSession, opening []Frame, idle time.Duration) (*Result, error) {
+	p, stop := newFramePump(ctx, conn, idle)
+	defer stop()
+	if err := p.writeFrames(opening); err != nil {
 		return nil, err
 	}
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := p.readFrame()
 		if err != nil {
 			return nil, err
 		}
 		out, done, stepErr := s.Step(typ, payload)
 		// Frames are flushed even on error: a failed strong verification
 		// still closes the session with msgDone.
-		if werr := writeFrames(conn, out); werr != nil && stepErr == nil {
+		if werr := p.writeFrames(out); werr != nil && stepErr == nil {
 			stepErr = werr
 		}
 		if stepErr != nil {
@@ -214,24 +372,21 @@ func SyncInitiator(set []uint64, conn io.ReadWriter, o *Options) (*Result, error
 	}
 }
 
-// SyncResponder serves one full protocol session over conn. It returns nil
-// when the initiator signals completion. A session rejected by the
-// hardening checks (over-limit d̂, duplicate estimate, malformed payloads)
-// is reported to the peer as a msgError frame before returning, so a
-// blocking initiator gets the diagnostic instead of waiting forever on a
-// reply that will never come.
-func SyncResponder(set []uint64, conn io.ReadWriter, o *Options) error {
-	s, err := NewResponderSession(set, o)
-	if err != nil {
-		return err
-	}
+// runResponder pumps a responder session over conn until the initiator
+// closes it, the context ends, or the exchange fails. Step failures are
+// reported to the peer as a msgError frame before returning, so a blocking
+// initiator gets the diagnostic instead of waiting forever on a reply that
+// will never come.
+func runResponder(ctx context.Context, conn io.ReadWriter, s *ResponderSession, idle time.Duration) error {
+	p, stop := newFramePump(ctx, conn, idle)
+	defer stop()
 	for {
-		typ, payload, err := readFrame(conn)
+		typ, payload, err := p.readFrame()
 		if err != nil {
 			return err
 		}
 		out, done, stepErr := s.Step(typ, payload)
-		if werr := writeFrames(conn, out); werr != nil && stepErr == nil {
+		if werr := p.writeFrames(out); werr != nil && stepErr == nil {
 			stepErr = werr
 		}
 		if stepErr != nil {
@@ -242,6 +397,36 @@ func SyncResponder(set []uint64, conn io.ReadWriter, o *Options) error {
 			return nil
 		}
 	}
+}
+
+// SyncInitiator runs the full protocol over conn and learns the set
+// difference. It blocks until the exchange completes or fails. The
+// responder side must run SyncResponder (or a server-driven
+// ResponderSession) with identical Options.
+//
+// SyncInitiator is the pre-Set spelling of Set.Sync with a background
+// context; prefer the Set form, which adds cancellation, deadlines,
+// streaming deltas, and state reuse across repeated syncs. The wire bytes
+// are identical either way.
+func SyncInitiator(set []uint64, conn io.ReadWriter, o *Options) (*Result, error) {
+	s, opening, err := NewInitiatorSession(set, o)
+	if err != nil {
+		return nil, err
+	}
+	return runInitiator(context.Background(), conn, s, opening, 0)
+}
+
+// SyncResponder serves one full protocol session over conn. It returns nil
+// when the initiator signals completion.
+//
+// SyncResponder is the pre-Set spelling of Set.Respond with a background
+// context; prefer the Set form. The wire bytes are identical either way.
+func SyncResponder(set []uint64, conn io.ReadWriter, o *Options) error {
+	s, err := NewResponderSession(set, o)
+	if err != nil {
+		return err
+	}
+	return runResponder(context.Background(), conn, s, 0)
 }
 
 // notifyPeerError best-effort sends a msgError diagnostic. The write is
