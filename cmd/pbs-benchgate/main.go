@@ -1,0 +1,65 @@
+// Command pbs-benchgate is the CI perf-regression gate: it compares a
+// freshly measured BENCH_*.json against the committed baseline in
+// testdata/bench_baselines/ and exits non-zero when a hot path regressed.
+//
+//	pbs-benchgate -baseline testdata/bench_baselines/BENCH_decode.json \
+//	    -current BENCH_decode.json
+//
+// The gate fails when a baseline benchmark disappeared, its ns_per_op
+// regressed beyond -max-ns-regress (default 0.30 = +30%), or its
+// allocs_per_op grew beyond -alloc-slack (default 0.10; a baseline of 0
+// allocs must stay at exactly 0). Refresh a baseline deliberately by
+// re-running the matching scripts/bench_*.sh on a quiet machine and
+// committing the output over testdata/bench_baselines/.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbs/internal/benchgate"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline BENCH_*.json (required)")
+		currentPath  = flag.String("current", "", "freshly measured BENCH_*.json (required)")
+		maxNsRegress = flag.Float64("max-ns-regress", benchgate.DefaultLimits.MaxNsRegress,
+			"tolerated fractional ns_per_op growth (0.30 = +30%)")
+		allocSlack = flag.Float64("alloc-slack", benchgate.DefaultLimits.AllocSlack,
+			"tolerated fractional allocs_per_op growth for allocating baselines (0-alloc baselines get none)")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "pbs-benchgate: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := benchgate.Load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := benchgate.Load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	lim := benchgate.Limits{MaxNsRegress: *maxNsRegress, AllocSlack: *allocSlack}
+	violations := benchgate.Compare(baseline, current, lim)
+	if len(violations) == 0 {
+		fmt.Printf("pbs-benchgate: %s OK against %s (%d benchmarks, limits +%.0f%% ns, +%.0f%% allocs)\n",
+			*currentPath, *baselinePath, len(baseline), 100*lim.MaxNsRegress, 100*lim.AllocSlack)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "pbs-benchgate: %s regressed against %s:\n", *currentPath, *baselinePath)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "  %s\n", v)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbs-benchgate:", err)
+	os.Exit(1)
+}

@@ -19,7 +19,9 @@
 //	pbs-serve -sync localhost:9931 -demo-size 100000 -demo-d 100 -demo-seed 1
 //
 // Metrics: -metrics ADDR serves expvar on http://ADDR/debug/vars with the
-// server counters published under "pbs_serve". SIGINT/SIGTERM drain
+// server counters and the per-completed-session latency/round/byte
+// histograms published under "pbs_serve". A fleet to load the server with
+// lives in cmd/pbs-loadgen. SIGINT/SIGTERM drain
 // in-flight sessions (up to -drain) before exiting; a final stats line is
 // printed either way.
 package main
@@ -138,8 +140,10 @@ func main() {
 		}
 	}
 	st := srv.Stats()
-	fmt.Printf("pbs-serve: done: %d completed, %d failed, %d rejected, %d rounds, %d B in, %d B out\n",
-		st.Completed, st.Failed, st.Rejected, st.Rounds, st.BytesIn, st.BytesOut)
+	fmt.Printf("pbs-serve: done: %d completed, %d failed, %d rejected, %d rounds, %d B in, %d B out; session latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		st.Completed, st.Failed, st.Rejected, st.Rounds, st.BytesIn, st.BytesOut,
+		st.LatencyUS.P50/1e3, st.LatencyUS.P95/1e3, st.LatencyUS.P99/1e3,
+		float64(st.LatencyUS.Max)/1e3)
 }
 
 // runClient syncs the local set (from -set or workload side A) against a

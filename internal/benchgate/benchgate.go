@@ -1,0 +1,112 @@
+// Package benchgate compares a freshly measured BENCH_*.json benchmark
+// file against a committed baseline and reports regressions, so CI can
+// fail a build that slows a hot path or reintroduces allocations instead
+// of merging it green. The JSON format is the one scripts/bench_decode.sh
+// and scripts/bench_api.sh emit: an array of
+//
+//	{"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"}
+//
+// Policy (see Compare): every baseline entry must still exist; ns_per_op
+// may not regress beyond a configured fraction; allocs_per_op may not
+// grow beyond a small jitter allowance — and an allocation-free baseline
+// (allocs 0) must stay exactly allocation-free, the contract the
+// zero-alloc decode kernel is built on. New benchmarks absent from the
+// baseline pass freely; refresh the baseline to start gating them.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Load reads one BENCH_*.json file.
+func Load(path string) ([]Entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark entries", path)
+	}
+	for _, e := range entries {
+		if e.Name == "" {
+			return nil, fmt.Errorf("%s: entry with empty name", path)
+		}
+	}
+	return entries, nil
+}
+
+// Limits tunes the gate.
+type Limits struct {
+	// MaxNsRegress is the tolerated fractional ns_per_op growth over the
+	// baseline (0.30 = fail beyond +30%).
+	MaxNsRegress float64
+	// AllocSlack is the tolerated fractional allocs_per_op growth for
+	// baselines that do allocate — amortized one-time allocations shift a
+	// little with the iteration count, and that jitter is not a
+	// regression. A baseline of exactly 0 allocs gets no slack at all.
+	AllocSlack float64
+}
+
+// DefaultLimits matches the CI policy: fail on >30% ns_per_op regression
+// or allocs_per_op growth (10% jitter allowed when the baseline already
+// allocates, none when it is allocation-free).
+var DefaultLimits = Limits{MaxNsRegress: 0.30, AllocSlack: 0.10}
+
+// Violation is one gate failure, with the numbers that triggered it.
+type Violation struct {
+	Name   string
+	Reason string
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Reason }
+
+// Compare checks current against baseline under lim and returns every
+// violation (nil means the gate passes). Matching is by entry name;
+// baseline entries missing from current are violations (a deleted or
+// renamed benchmark must come with a refreshed baseline, not dodge the
+// gate), current entries missing from baseline are ignored.
+func Compare(baseline, current []Entry, lim Limits) []Violation {
+	cur := make(map[string]Entry, len(current))
+	for _, e := range current {
+		cur[e.Name] = e
+	}
+	var out []Violation
+	for _, base := range baseline {
+		got, ok := cur[base.Name]
+		if !ok {
+			out = append(out, Violation{base.Name, "missing from current results (refresh the baseline if intentionally removed)"})
+			continue
+		}
+		if limit := base.NsPerOp * (1 + lim.MaxNsRegress); base.NsPerOp > 0 && got.NsPerOp > limit {
+			out = append(out, Violation{base.Name, fmt.Sprintf(
+				"ns_per_op regressed %.0f -> %.0f (+%.1f%%, limit +%.0f%%)",
+				base.NsPerOp, got.NsPerOp,
+				100*(got.NsPerOp/base.NsPerOp-1), 100*lim.MaxNsRegress)})
+		}
+		allocLimit := base.AllocsPerOp * (1 + lim.AllocSlack)
+		if got.AllocsPerOp > allocLimit {
+			reason := fmt.Sprintf("allocs_per_op grew %.0f -> %.0f (limit %.1f)",
+				base.AllocsPerOp, got.AllocsPerOp, allocLimit)
+			if base.AllocsPerOp == 0 {
+				reason = fmt.Sprintf("allocation-free benchmark now allocates (%.0f allocs/op)", got.AllocsPerOp)
+			}
+			out = append(out, Violation{base.Name, reason})
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(name string, ns, allocs float64) Entry {
+	return Entry{Name: name, Iterations: 10, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestComparePasses(t *testing.T) {
+	base := []Entry{
+		entry("Bench/kernel", 1000, 0),
+		entry("Bench/api", 50000, 954),
+	}
+	cur := []Entry{
+		entry("Bench/kernel", 1200, 0),  // +20%: within the 30% limit
+		entry("Bench/api", 45000, 1000), // faster, allocs within 10% jitter
+		entry("Bench/new", 77, 3),       // not in baseline: ignored
+	}
+	if v := Compare(base, cur, DefaultLimits); len(v) != 0 {
+		t.Fatalf("clean comparison flagged: %v", v)
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	base := []Entry{entry("Bench/kernel", 1000, 0)}
+	cur := []Entry{entry("Bench/kernel", 1301, 0)} // +30.1%
+	v := Compare(base, cur, DefaultLimits)
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "ns_per_op regressed") {
+		t.Fatalf("want one ns regression, got %v", v)
+	}
+	// Exactly at the limit passes (the gate is >30%, not >=).
+	cur = []Entry{entry("Bench/kernel", 1300, 0)}
+	if v := Compare(base, cur, DefaultLimits); len(v) != 0 {
+		t.Fatalf("at-limit value flagged: %v", v)
+	}
+}
+
+func TestCompareFlagsAllocGrowth(t *testing.T) {
+	base := []Entry{entry("Bench/api", 1000, 100)}
+	cur := []Entry{entry("Bench/api", 1000, 111)} // +11% > 10% slack
+	v := Compare(base, cur, DefaultLimits)
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "allocs_per_op grew") {
+		t.Fatalf("want one alloc violation, got %v", v)
+	}
+	cur = []Entry{entry("Bench/api", 1000, 110)} // within slack
+	if v := Compare(base, cur, DefaultLimits); len(v) != 0 {
+		t.Fatalf("within-slack allocs flagged: %v", v)
+	}
+}
+
+func TestCompareZeroAllocBaselineIsStrict(t *testing.T) {
+	// The zero-alloc kernel contract: a 0-alloc baseline gets no slack.
+	base := []Entry{entry("Bench/kernel", 1000, 0)}
+	cur := []Entry{entry("Bench/kernel", 1000, 1)}
+	v := Compare(base, cur, DefaultLimits)
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "allocation-free") {
+		t.Fatalf("want strict zero-alloc violation, got %v", v)
+	}
+}
+
+func TestCompareFlagsMissingEntry(t *testing.T) {
+	base := []Entry{entry("Bench/kernel", 1000, 0), entry("Bench/gone", 10, 0)}
+	cur := []Entry{entry("Bench/kernel", 1000, 0)}
+	v := Compare(base, cur, DefaultLimits)
+	if len(v) != 1 || !strings.Contains(v[0].Reason, "missing") {
+		t.Fatalf("want one missing-entry violation, got %v", v)
+	}
+}
+
+func TestCompareMultipleViolationsReported(t *testing.T) {
+	base := []Entry{
+		entry("Bench/a", 1000, 0),
+		entry("Bench/b", 1000, 50),
+	}
+	cur := []Entry{
+		entry("Bench/a", 5000, 2), // ns regression AND alloc growth
+		entry("Bench/b", 4000, 50),
+	}
+	v := Compare(base, cur, DefaultLimits)
+	if len(v) != 3 {
+		t.Fatalf("want 3 violations (2 on a, 1 on b), got %v", v)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`[
+  {"name": "Bench/x", "iterations": 1, "ns_per_op": 42, "bytes_per_op": 0, "allocs_per_op": 0}
+]`), 0o644)
+	entries, err := Load(good)
+	if err != nil || len(entries) != 1 || entries[0].NsPerOp != 42 {
+		t.Fatalf("Load(good) = %v, %v", entries, err)
+	}
+
+	for name, body := range map[string]string{
+		"empty.json":   `[]`,
+		"noname.json":  `[{"iterations": 1, "ns_per_op": 1}]`,
+		"garbage.json": `{not json`,
+	} {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(body), 0o644)
+		if _, err := Load(p); err == nil {
+			t.Errorf("Load(%s) accepted", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("Load(absent) accepted")
+	}
+}
+
+// TestLoadRealBaselines pins the committed baselines to the parseable
+// format: a baseline the gate cannot read is a gate that never fires.
+func TestLoadRealBaselines(t *testing.T) {
+	for _, p := range []string{
+		"../../testdata/bench_baselines/BENCH_decode.json",
+		"../../testdata/bench_baselines/BENCH_api.json",
+	} {
+		entries, err := Load(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if len(entries) == 0 {
+			t.Errorf("%s: empty", p)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package hist provides a cheap, fixed-memory, concurrency-safe histogram
+// for hot-path latency/size recording. A Record is one atomic add into a
+// log-linear bucket array, striped across several cache-line-padded copies
+// so thousands of concurrent recorders do not serialize on one counter
+// line; a Snapshot folds the stripes together and answers quantile
+// queries by interpolating inside the matched bucket.
+//
+// The bucket layout is exact for values 0..15 and log-linear above: each
+// power-of-two octave is split into 8 sub-buckets, bounding the relative
+// quantile error at 1/8 = 12.5% while keeping the whole histogram under
+// 4 KiB per stripe. Values are clamped to [0, 2^62); negative values count
+// into bucket 0.
+package hist
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// exactBuckets values (0..exactBuckets-1) get one bucket each.
+	exactBuckets = 16
+	// subBits sub-buckets per octave above the exact range.
+	subBits      = 3
+	subPerOctave = 1 << subBits
+	// Octaves cover floor(log2 v) = 4 .. 61 (values up to 2^62-1).
+	minExp   = 4
+	maxExp   = 61
+	nBuckets = exactBuckets + (maxExp-minExp+1)*subPerOctave
+
+	// stripes is fixed: power of two so the hint folds with a mask. Eight
+	// stripes keep a 500-session completion storm off a single cache line
+	// without making snapshots scan much.
+	stripes = 8
+
+	maxValue = 1<<62 - 1
+)
+
+// bucketIndex maps a clamped value to its bucket.
+func bucketIndex(v int64) int {
+	if v < exactBuckets {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	u := uint64(v)
+	e := bits.Len64(u) - 1 // floor(log2 v), >= 4
+	sub := (u >> (uint(e) - subBits)) & (subPerOctave - 1)
+	return exactBuckets + (e-minExp)*subPerOctave + int(sub)
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < exactBuckets {
+		return int64(i), int64(i) + 1
+	}
+	i -= exactBuckets
+	e := minExp + i/subPerOctave
+	sub := int64(i % subPerOctave)
+	width := int64(1) << (uint(e) - subBits)
+	lo = (subPerOctave + sub) * width
+	return lo, lo + width
+}
+
+// stripe is one private copy of the bucket array. The trailing pad keeps
+// adjacent stripes on separate cache lines so recorders hashed to
+// different stripes never share one.
+type stripe struct {
+	counts [nBuckets]atomic.Uint64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	_      [64]byte
+}
+
+// Histogram is a striped log-linear histogram. The zero value is ready to
+// use. All methods are safe for concurrent use.
+type Histogram struct {
+	s [stripes]stripe
+}
+
+// Record counts one observation. hint spreads concurrent recorders across
+// stripes — pass any value that differs between them (a connection or
+// worker index works well); correctness does not depend on its
+// distribution, only contention does.
+func (h *Histogram) Record(hint uint64, v int64) {
+	if v > maxValue {
+		v = maxValue
+	}
+	st := &h.s[hint&(stripes-1)]
+	st.counts[bucketIndex(v)].Add(1)
+	st.count.Add(1)
+	if v > 0 {
+		st.sum.Add(v)
+	}
+	// Lock-free running max; racing writers settle on the true maximum.
+	for {
+		cur := st.max.Load()
+		if v <= cur || st.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot is an immutable point-in-time copy of a Histogram, safe to
+// query from any goroutine while recording continues.
+type Snapshot struct {
+	counts [nBuckets]uint64
+	Count  int64 // observations recorded
+	Sum    int64 // sum of positive observations
+	Max    int64 // largest observation (exact, not bucket-rounded)
+}
+
+// Snapshot folds the stripes into one immutable copy. Recording that races
+// the fold may land in either side — each Record still lands exactly once
+// in the sequence of snapshots.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.s {
+		st := &h.s[i]
+		for b := range st.counts {
+			s.counts[b] += st.counts[b].Load()
+		}
+		s.Count += st.count.Load()
+		s.Sum += st.sum.Load()
+		if m := st.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded values,
+// interpolated inside the matched bucket; exact values below 16 are exact.
+// It returns 0 for an empty snapshot. Quantile is monotone in q, and never
+// exceeds Max.
+func (s *Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the wanted observation.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo, hi := bucketBounds(b)
+			if hi > s.Max+1 {
+				hi = s.Max + 1 // never report past the observed maximum
+			}
+			if hi <= lo {
+				return float64(lo)
+			}
+			frac := float64(rank-seen) / float64(c)
+			return float64(lo) + frac*float64(hi-1-lo)
+		}
+		seen += c
+	}
+	return float64(s.Max)
+}

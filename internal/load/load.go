@@ -1,0 +1,543 @@
+// Package load drives a pbs server with a fleet of concurrent warm
+// clients and measures what it sustains: syncs/s, bytes/s, and the
+// client-observed sync latency distribution. It is the capacity-
+// measurement layer behind cmd/pbs-loadgen and the CI load smoke.
+//
+// Each worker holds a long-lived pbs.Set built once from the A side of a
+// synthetic workload (the server serves the B side of the same workload,
+// as pbs-serve -demo-* does) and reconciles it repeatedly: closed-loop
+// (back to back, the saturation measurement) or open-loop against a
+// target arrival rate. Between syncs a worker can churn its set through
+// the incremental Add/Remove path — the mutation pattern a live
+// deployment sees — and either hold one warm connection across syncs or
+// redial for every sync. Every worker counts its own wire bytes through
+// the connection, so a run's client-side totals are exactly reconcilable
+// with the server's BytesIn/BytesOut counters.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbs"
+	"pbs/internal/hist"
+	"pbs/internal/workload"
+)
+
+// Config parameterizes one load run against a running server.
+type Config struct {
+	// Addr is the server's host:port.
+	Addr string
+	// SetName addresses a named registry set ("" = the server default).
+	SetName string
+
+	// Workers is the number of concurrent clients (default 1). Closed-loop,
+	// every worker keeps exactly one sync in flight, so Workers is also the
+	// concurrent-session count the server sustains.
+	Workers int
+	// Duration bounds the run (default 10s). Ignored when SyncsPerWorker
+	// is set.
+	Duration time.Duration
+	// SyncsPerWorker, when > 0, runs exactly this many syncs per worker
+	// instead of a timed run — the deterministic mode tests use.
+	SyncsPerWorker int
+
+	// SetSize is |A|, the per-client set size (default 10000). The server
+	// must serve the B side of the same workload: |B| = SetSize - DiffSize.
+	SetSize int
+	// DiffSize is the initial per-client difference |A△B| (default 100).
+	DiffSize int
+	// Churn is the number of elements toggled between consecutive syncs
+	// through the Set's incremental Add/Remove path: each cycle removes
+	// Churn random owned elements, the next re-adds them, so the measured
+	// difference oscillates in [DiffSize, DiffSize+Churn] and stays
+	// stationary over a long run.
+	Churn int
+	// Seed derives the workload; it must match the server's workload seed
+	// (pbs-serve -demo-seed) for the sets to actually differ by DiffSize.
+	Seed int64
+
+	// Rate is the open-loop target arrival rate in syncs/s across all
+	// workers; 0 selects closed-loop (every worker syncs back to back).
+	Rate float64
+	// Reconnect dials a fresh connection for every sync (the cold-client
+	// shape). Default false: each worker holds one warm connection and the
+	// server carries its sessions in sequence.
+	Reconnect bool
+	// SyncTimeout bounds a single sync (default 30s).
+	SyncTimeout time.Duration
+	// Verify checks every learned difference against the exact expected
+	// set (ground truth tracked through churn) and counts mismatches as
+	// errors. Costs O(d) per sync.
+	Verify bool
+
+	// Options is the protocol configuration; it must match the server's.
+	Options *pbs.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.SetSize == 0 {
+		c.SetSize = 10000
+	}
+	if c.DiffSize == 0 {
+		c.DiffSize = 100
+	}
+	if c.SyncTimeout == 0 {
+		c.SyncTimeout = 30 * time.Second
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Addr == "":
+		return fmt.Errorf("load: no server address")
+	case c.Workers < 0 || c.SetSize < 0 || c.DiffSize < 0 || c.Churn < 0:
+		return fmt.Errorf("load: negative workers/size/diff/churn")
+	case c.DiffSize > c.SetSize:
+		return fmt.Errorf("load: diff %d exceeds set size %d", c.DiffSize, c.SetSize)
+	case c.Rate < 0:
+		return fmt.Errorf("load: negative rate")
+	}
+	return nil
+}
+
+// LatencySummary digests the client-observed sync latency distribution,
+// in microseconds.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Report is the machine-readable outcome of a run (the BENCH_load.json
+// payload).
+type Report struct {
+	Workers   int     `json:"workers"`
+	SetSize   int     `json:"set_size"`
+	DiffSize  int     `json:"diff_size"`
+	Churn     int     `json:"churn"`
+	Rate      float64 `json:"rate_target"` // 0 = closed loop
+	Reconnect bool    `json:"reconnect"`
+
+	DurationSec  float64        `json:"duration_sec"`
+	Syncs        int64          `json:"syncs"`
+	Errors       int64          `json:"errors"`
+	SyncsPerSec  float64        `json:"syncs_per_sec"`
+	BytesRead    int64          `json:"bytes_read"`    // client-observed, = server BytesOut
+	BytesWritten int64          `json:"bytes_written"` // client-observed, = server BytesIn
+	BytesPerSec  float64        `json:"bytes_per_sec"` // both directions
+	Rounds       int64          `json:"rounds"`
+	DiffElements int64          `json:"diff_elements"`
+	LatencyUS    LatencySummary `json:"latency_us"`
+
+	// FirstError samples the first failure for diagnostics ("" when clean).
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// countingConn tallies wire bytes as they cross the connection, so the
+// client side knows exactly what the server's BytesIn/BytesOut counters
+// saw (frame headers included).
+type countingConn struct {
+	net.Conn
+	r, w *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.r.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.w.Add(int64(n))
+	return n, err
+}
+
+// worker is one concurrent client: a warm Set, its churn state, and its
+// (possibly persistent) connection.
+type worker struct {
+	id   int
+	cfg  *Config
+	set  *pbs.Set
+	rng  *rand.Rand
+	conn net.Conn
+
+	elems  []uint64 // mutable mirror of the owned elements, for sampling
+	parked []uint64 // currently-removed churn elements
+	expect map[uint64]struct{}
+
+	syncs  atomic.Int64
+	errs   atomic.Int64
+	rounds atomic.Int64
+	diffs  atomic.Int64
+}
+
+// Run executes one load run and aggregates the fleet's measurements. It
+// returns an error only when the run could not measure anything (bad
+// config, or not one sync succeeded); individual sync failures are
+// counted in Report.Errors and sampled in Report.FirstError.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pair, err := workload.Generate(workload.Config{
+		UniverseBits: 32, SizeA: cfg.SetSize, D: cfg.DiffSize, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		set, err := pbs.NewSet(pair.A, baseOption(cfg.Options))
+		if err != nil {
+			return nil, err
+		}
+		w := &worker{
+			id:    i,
+			cfg:   &cfg,
+			set:   set,
+			rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(i)*0x9E3779B97F4A7C15))),
+			elems: append([]uint64(nil), pair.A...),
+		}
+		if cfg.Verify {
+			w.expect = make(map[uint64]struct{}, len(pair.Diff))
+			for _, x := range pair.Diff {
+				w.expect[x] = struct{}{}
+			}
+		}
+		workers[i] = w
+	}
+
+	// runCtx is always cancelled when Run returns (not only in timed
+	// mode), so the pacer goroutine below can never outlive the run.
+	var (
+		runCtx context.Context
+		cancel context.CancelFunc
+	)
+	if cfg.SyncsPerWorker > 0 {
+		runCtx, cancel = context.WithCancel(ctx)
+	} else {
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+	}
+	defer cancel()
+
+	// Open-loop pacing: one shared token stream at the target rate. A full
+	// buffer means the fleet is lagging the offered rate; dropped tokens
+	// keep the arrival process from bursting unboundedly when it catches
+	// up.
+	var tokens chan struct{}
+	if cfg.Rate > 0 {
+		tokens = make(chan struct{}, cfg.Workers)
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		go func() {
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tk.C:
+					select {
+					case tokens <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	var (
+		latency  hist.Histogram
+		bytesR   atomic.Int64
+		bytesW   atomic.Int64
+		firstErr atomic.Pointer[string]
+		wg       sync.WaitGroup
+	)
+	recordErr := func(err error) {
+		msg := err.Error()
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+
+	start := time.Now()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			defer w.closeConn()
+			for n := 0; cfg.SyncsPerWorker <= 0 || n < cfg.SyncsPerWorker; n++ {
+				if runCtx.Err() != nil {
+					return
+				}
+				if tokens != nil {
+					select {
+					case <-runCtx.Done():
+						return
+					case <-tokens:
+					}
+				}
+				if n > 0 {
+					w.churn()
+				}
+				// Syncs run under the caller's context, not the run
+				// deadline: at the deadline the fleet stops *starting*
+				// syncs and drains the in-flight ones (bounded by
+				// SyncTimeout), so a timed run ends with zero half-aborted
+				// server sessions.
+				err := w.sync(ctx, &latency, &bytesR, &bytesW)
+				if err != nil {
+					// A cancellation from the caller is the run being torn
+					// down, not a server failure.
+					if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+						return
+					}
+					w.errs.Add(1)
+					recordErr(fmt.Errorf("worker %d sync %d: %w", w.id, n, err))
+					w.closeConn()
+					select {
+					case <-runCtx.Done():
+						return
+					case <-time.After(10 * time.Millisecond):
+					}
+					continue
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Workers:   cfg.Workers,
+		SetSize:   cfg.SetSize,
+		DiffSize:  cfg.DiffSize,
+		Churn:     cfg.Churn,
+		Rate:      cfg.Rate,
+		Reconnect: cfg.Reconnect,
+
+		DurationSec:  elapsed.Seconds(),
+		BytesRead:    bytesR.Load(),
+		BytesWritten: bytesW.Load(),
+	}
+	for _, w := range workers {
+		rep.Syncs += w.syncs.Load()
+		rep.Errors += w.errs.Load()
+		rep.Rounds += w.rounds.Load()
+		rep.DiffElements += w.diffs.Load()
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.SyncsPerSec = float64(rep.Syncs) / sec
+		rep.BytesPerSec = float64(rep.BytesRead+rep.BytesWritten) / sec
+	}
+	snap := latency.Snapshot()
+	rep.LatencyUS = LatencySummary{
+		Count: snap.Count,
+		P50:   snap.Quantile(0.50),
+		P95:   snap.Quantile(0.95),
+		P99:   snap.Quantile(0.99),
+		Max:   snap.Max,
+	}
+	if snap.Count > 0 {
+		rep.LatencyUS.Mean = float64(snap.Sum) / float64(snap.Count)
+	}
+	if msg := firstErr.Load(); msg != nil {
+		rep.FirstError = *msg
+	}
+	if rep.Syncs == 0 {
+		if rep.FirstError != "" {
+			return rep, fmt.Errorf("load: no sync succeeded: %s", rep.FirstError)
+		}
+		return rep, fmt.Errorf("load: no sync completed within the run")
+	}
+	return rep, nil
+}
+
+// sync runs one reconciliation, dialing if the worker holds no connection
+// (or redials every time under Reconnect). A failure on a *reused* warm
+// connection gets one transparent retry on a fresh one: a server is
+// entitled to idle-drop a warm connection between paced syncs (open-loop
+// runs at low per-worker rates sit idle longer than the server's
+// IdleTimeout), and that is connection hygiene, not a measurement of the
+// server failing.
+func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, bytesW *atomic.Int64) error {
+	cfg := w.cfg
+	reused := w.conn != nil && !cfg.Reconnect
+	if w.conn == nil || cfg.Reconnect {
+		w.closeConn()
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+		if err != nil {
+			return err
+		}
+		w.conn = countingConn{Conn: conn, r: bytesR, w: bytesW}
+	}
+	syncCtx, cancel := context.WithTimeout(ctx, cfg.SyncTimeout)
+	defer cancel()
+	var opts []pbs.Option
+	if cfg.SetName != "" {
+		opts = append(opts, pbs.WithSetName(cfg.SetName))
+	}
+	start := time.Now()
+	res, err := w.set.Sync(syncCtx, w.conn, opts...)
+	elapsed := time.Since(start)
+	if err != nil && reused && ctx.Err() == nil {
+		w.closeConn()
+		var d net.Dialer
+		conn, derr := d.DialContext(syncCtx, "tcp", cfg.Addr)
+		if derr != nil {
+			return err // report the sync failure, not the retry dial
+		}
+		w.conn = countingConn{Conn: conn, r: bytesR, w: bytesW}
+		start = time.Now()
+		res, err = w.set.Sync(syncCtx, w.conn, opts...)
+		elapsed = time.Since(start)
+	}
+	if err != nil {
+		return err
+	}
+	if !res.Complete {
+		return fmt.Errorf("incomplete after %d rounds", res.Rounds)
+	}
+	if cfg.Verify {
+		if err := w.verify(res.Difference); err != nil {
+			return err
+		}
+	}
+	latency.Record(uint64(w.id), elapsed.Microseconds())
+	w.syncs.Add(1)
+	w.rounds.Add(int64(res.Rounds))
+	w.diffs.Add(int64(len(res.Difference)))
+	return nil
+}
+
+// churn toggles Churn elements through the incremental Add/Remove path:
+// one cycle removes a random sample, the next restores it.
+func (w *worker) churn() {
+	k := w.cfg.Churn
+	if k <= 0 {
+		return
+	}
+	if len(w.parked) > 0 {
+		if _, err := w.set.Add(w.parked...); err == nil {
+			w.elems = append(w.elems, w.parked...)
+			for _, x := range w.parked {
+				w.toggleExpect(x)
+			}
+		}
+		w.parked = w.parked[:0]
+		return
+	}
+	if k > len(w.elems) {
+		k = len(w.elems)
+	}
+	for j := 0; j < k; j++ {
+		i := w.rng.Intn(len(w.elems))
+		w.parked = append(w.parked, w.elems[i])
+		w.elems[i] = w.elems[len(w.elems)-1]
+		w.elems = w.elems[:len(w.elems)-1]
+	}
+	w.set.Remove(w.parked...)
+	for _, x := range w.parked {
+		w.toggleExpect(x)
+	}
+}
+
+// toggleExpect maintains the exact expected difference under churn: every
+// membership toggle on the local set toggles the element's membership in
+// A△B (the server's set never changes).
+func (w *worker) toggleExpect(x uint64) {
+	if w.expect == nil {
+		return
+	}
+	if _, ok := w.expect[x]; ok {
+		delete(w.expect, x)
+	} else {
+		w.expect[x] = struct{}{}
+	}
+}
+
+// verify checks a learned difference against the tracked ground truth.
+func (w *worker) verify(diff []uint64) error {
+	if len(diff) != len(w.expect) {
+		return fmt.Errorf("difference mismatch: got %d elements, want %d", len(diff), len(w.expect))
+	}
+	for _, x := range diff {
+		if _, ok := w.expect[x]; !ok {
+			return fmt.Errorf("difference contains unexpected element %#x", x)
+		}
+	}
+	return nil
+}
+
+func (w *worker) closeConn() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+}
+
+// baseOption adapts an optional *pbs.Options into the Set constructor's
+// functional-option form (a zero Options resolves to the defaults, same
+// as nil).
+func baseOption(o *pbs.Options) pbs.Option {
+	if o == nil {
+		return pbs.WithOptions(pbs.Options{})
+	}
+	return pbs.WithOptions(*o)
+}
+
+// ServerSet returns the element slice the server must serve so that
+// clients built by Run (same Config) differ from it by exactly DiffSize:
+// the B side of the shared workload. cmd/pbs-serve's -demo-* flags
+// compute the same thing; this helper is for in-process servers (tests,
+// benchmarks).
+func ServerSet(cfg Config) ([]uint64, error) {
+	cfg = cfg.withDefaults()
+	pair, err := workload.Generate(workload.Config{
+		UniverseBits: 32, SizeA: cfg.SetSize, D: cfg.DiffSize, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append([]uint64(nil), pair.B...), nil
+}
+
+// String renders the human-readable run summary pbs-loadgen prints.
+func (r *Report) String() string {
+	mode := "closed-loop"
+	if r.Rate > 0 {
+		mode = fmt.Sprintf("open-loop %.0f/s", r.Rate)
+	}
+	conn := "warm conns"
+	if r.Reconnect {
+		conn = "reconnect"
+	}
+	return fmt.Sprintf(
+		"%d workers (%s, %s), |A|=%d d=%d churn=%d: %d syncs (%d errors) in %.2fs = %.1f syncs/s, %.2f MB/s; latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		r.Workers, mode, conn, r.SetSize, r.DiffSize, r.Churn,
+		r.Syncs, r.Errors, r.DurationSec, r.SyncsPerSec,
+		r.BytesPerSec/1e6,
+		r.LatencyUS.P50/1e3, r.LatencyUS.P95/1e3, r.LatencyUS.P99/1e3,
+		float64(r.LatencyUS.Max)/1e3)
+}

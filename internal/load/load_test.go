@@ -1,0 +1,277 @@
+package load
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"pbs"
+)
+
+// startServer serves the B side of cfg's workload on a loopback listener
+// and returns the server for stats inspection.
+func startServer(t *testing.T, cfg Config, srvOpt pbs.ServerOptions) (*pbs.Server, string) {
+	t.Helper()
+	elems, err := ServerSet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var popt pbs.Options
+	if srvOpt.Protocol != nil {
+		popt = *srvOpt.Protocol
+	}
+	set, err := pbs.NewSet(elems, pbs.WithOptions(popt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := pbs.NewServer(srvOpt)
+	if err := srv.RegisterSet(pbs.DefaultSetName, set); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+// waitStats polls until the server has accounted every completed session
+// (the client returns a beat before the server books the msgDone).
+func waitStats(t *testing.T, srv *pbs.Server, completed int64) pbs.ServerStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Stats()
+		if (st.Completed == completed && st.Active == 0) || time.Now().After(deadline) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunReconcilesWithServerStats is the loadgen-vs-server accounting
+// test: a deterministic run whose client-observed counts — sessions,
+// rounds, and wire bytes in both directions — must match the server's own
+// counters and histograms exactly. Run under -race this also exercises
+// many concurrent warm sessions against one live Set.
+func TestRunReconcilesWithServerStats(t *testing.T) {
+	opt := &pbs.Options{Seed: 99}
+	cfg := Config{
+		Workers:        20,
+		SyncsPerWorker: 4,
+		SetSize:        1500,
+		DiffSize:       30,
+		Churn:          7,
+		Seed:           5,
+		Verify:         true,
+		Options:        opt,
+	}
+	srv, addr := startServer(t, cfg, pbs.ServerOptions{Protocol: opt})
+	cfg.Addr = addr
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v (first error: %s)", err, rep.FirstError)
+	}
+	wantSyncs := int64(cfg.Workers * cfg.SyncsPerWorker)
+	if rep.Syncs != wantSyncs || rep.Errors != 0 {
+		t.Fatalf("syncs=%d errors=%d (first: %s), want %d/0", rep.Syncs, rep.Errors, rep.FirstError, wantSyncs)
+	}
+	if rep.LatencyUS.Count != wantSyncs {
+		t.Fatalf("latency count %d, want %d", rep.LatencyUS.Count, wantSyncs)
+	}
+	if rep.LatencyUS.P50 > rep.LatencyUS.P95 || rep.LatencyUS.P95 > rep.LatencyUS.P99 ||
+		rep.LatencyUS.P99 > float64(rep.LatencyUS.Max) {
+		t.Fatalf("latency quantiles not monotone: %+v", rep.LatencyUS)
+	}
+
+	st := waitStats(t, srv, wantSyncs)
+
+	// Client-observed counts must reconcile exactly with the server's.
+	if st.Completed != wantSyncs {
+		t.Fatalf("server completed %d, want %d (failed=%d rejected=%d)",
+			st.Completed, wantSyncs, st.Failed, st.Rejected)
+	}
+	if st.Failed != 0 || st.Rejected != 0 {
+		t.Fatalf("server failed=%d rejected=%d, want clean", st.Failed, st.Rejected)
+	}
+	if st.Rounds != rep.Rounds {
+		t.Fatalf("server rounds %d != client rounds %d", st.Rounds, rep.Rounds)
+	}
+	if st.BytesIn != rep.BytesWritten {
+		t.Fatalf("server BytesIn %d != client bytes written %d", st.BytesIn, rep.BytesWritten)
+	}
+	if st.BytesOut != rep.BytesRead {
+		t.Fatalf("server BytesOut %d != client bytes read %d", st.BytesOut, rep.BytesRead)
+	}
+
+	// Every completed session must be in the server histograms, and the
+	// byte histogram must account every wire byte of the run.
+	if st.LatencyUS.Count != wantSyncs || st.SessionRounds.Count != wantSyncs ||
+		st.SessionBytes.Count != wantSyncs {
+		t.Fatalf("histogram counts %d/%d/%d, want %d", st.LatencyUS.Count,
+			st.SessionRounds.Count, st.SessionBytes.Count, wantSyncs)
+	}
+	if st.SessionBytes.Sum != st.BytesIn+st.BytesOut {
+		t.Fatalf("SessionBytes.Sum %d != BytesIn+BytesOut %d",
+			st.SessionBytes.Sum, st.BytesIn+st.BytesOut)
+	}
+	if st.SessionRounds.Sum != st.Rounds {
+		t.Fatalf("SessionRounds.Sum %d != Rounds %d", st.SessionRounds.Sum, st.Rounds)
+	}
+
+	// Warm connections: 20 workers, 80 sessions, exactly 20 dials.
+	if st.Accepted != int64(cfg.Workers) {
+		t.Fatalf("server accepted %d connections, want %d (warm reuse)", st.Accepted, cfg.Workers)
+	}
+
+	// The verified differences oscillate between DiffSize and
+	// DiffSize+Churn under the parked-churn model.
+	min := int64(cfg.DiffSize * cfg.Workers * cfg.SyncsPerWorker)
+	max := int64((cfg.DiffSize + cfg.Churn) * cfg.Workers * cfg.SyncsPerWorker)
+	if rep.DiffElements < min || rep.DiffElements > max {
+		t.Fatalf("total diff elements %d outside [%d, %d]", rep.DiffElements, min, max)
+	}
+}
+
+// TestRunReconnectMode covers the cold-client shape: every sync dials a
+// fresh connection, so the server sees exactly one session per accepted
+// connection.
+func TestRunReconnectMode(t *testing.T) {
+	opt := &pbs.Options{Seed: 3}
+	cfg := Config{
+		Workers:        5,
+		SyncsPerWorker: 3,
+		SetSize:        600,
+		DiffSize:       10,
+		Seed:           11,
+		Reconnect:      true,
+		Verify:         true,
+		Options:        opt,
+	}
+	srv, addr := startServer(t, cfg, pbs.ServerOptions{Protocol: opt})
+	cfg.Addr = addr
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := int64(cfg.Workers * cfg.SyncsPerWorker)
+	if rep.Syncs != want || rep.Errors != 0 {
+		t.Fatalf("syncs=%d errors=%d (first: %s), want %d/0", rep.Syncs, rep.Errors, rep.FirstError, want)
+	}
+	st := waitStats(t, srv, want)
+	if st.Completed != want {
+		t.Fatalf("server completed %d, want %d", st.Completed, want)
+	}
+	if st.Accepted != want {
+		t.Fatalf("server accepted %d connections, want %d (one per sync)", st.Accepted, want)
+	}
+}
+
+// TestRunOpenLoopRate checks the open-loop pacer: a low target rate must
+// throttle a fleet that could go much faster.
+func TestRunOpenLoopRate(t *testing.T) {
+	opt := &pbs.Options{Seed: 8}
+	cfg := Config{
+		Workers:  4,
+		Duration: 1200 * time.Millisecond,
+		SetSize:  300,
+		DiffSize: 5,
+		Seed:     2,
+		Rate:     20, // ~24 tokens over the run, far below closed-loop capacity
+		Options:  opt,
+	}
+	_, addr := startServer(t, cfg, pbs.ServerOptions{Protocol: opt})
+	cfg.Addr = addr
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v (first error: %s)", err, rep.FirstError)
+	}
+	// Generous upper bound: the pacer must keep throughput near the target
+	// rate, nowhere near what 4 unthrottled workers sustain (hundreds/s).
+	if rep.SyncsPerSec > 2.5*cfg.Rate {
+		t.Fatalf("open loop did not pace: %.1f syncs/s against a target of %.1f", rep.SyncsPerSec, cfg.Rate)
+	}
+	if rep.Syncs == 0 {
+		t.Fatal("no syncs completed")
+	}
+}
+
+// TestRunBadAddress must fail loudly, not hang or report an empty success.
+func TestRunBadAddress(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := Run(ctx, Config{
+		Addr:           "127.0.0.1:1", // nothing listens here
+		Workers:        2,
+		SyncsPerWorker: 1,
+		SetSize:        100,
+		DiffSize:       5,
+	})
+	if err == nil {
+		t.Fatal("Run against a dead address succeeded")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},                                     // no address
+		{Addr: "x", Workers: -1},               // negative workers
+		{Addr: "x", SetSize: 10, DiffSize: 20}, // diff > size
+		{Addr: "x", Rate: -1},                  // negative rate
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestRunRetriesIdleDroppedWarmConn pins the open-loop/warm-connection
+// interaction: a server is entitled to idle-drop a warm connection while
+// a slowly-paced worker sits between syncs, and the worker must redial
+// transparently instead of reporting the healthy server as failing.
+func TestRunRetriesIdleDroppedWarmConn(t *testing.T) {
+	opt := &pbs.Options{Seed: 12}
+	cfg := Config{
+		Workers:        2,
+		SyncsPerWorker: 2,
+		SetSize:        300,
+		DiffSize:       5,
+		Seed:           4,
+		Rate:           4, // ~500ms between one worker's syncs
+		Verify:         true,
+		Options:        opt,
+	}
+	// Idle-drop warm connections far sooner than the pacing gap.
+	srv, addr := startServer(t, cfg, pbs.ServerOptions{
+		Protocol:    opt,
+		IdleTimeout: 100 * time.Millisecond,
+	})
+	cfg.Addr = addr
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v (first error: %s)", err, rep.FirstError)
+	}
+	want := int64(cfg.Workers * cfg.SyncsPerWorker)
+	if rep.Syncs != want || rep.Errors != 0 {
+		t.Fatalf("syncs=%d errors=%d (first: %s), want %d/0",
+			rep.Syncs, rep.Errors, rep.FirstError, want)
+	}
+	st := waitStats(t, srv, want)
+	if st.Completed != want {
+		t.Fatalf("server completed %d, want %d", st.Completed, want)
+	}
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# bench_load.sh — measure what one pbs-serve process sustains under a
+# concurrent warm-client fleet, and emit machine-readable results to
+# BENCH_load.json.
+#
+# Usage:
+#   scripts/bench_load.sh [workers] [duration] [size] [diff] [churn]
+#
+# Defaults (CI smoke): 500 workers for 10s against a |B|=1980 catalog with
+# per-client |A|=2000 and d=20, churning 5 elements between syncs. The
+# nightly soak raises the duration (e.g. `scripts/bench_load.sh 500 60s`).
+#
+# The script starts a pbs-serve on OS-assigned ports, runs the fleet
+# closed-loop over warm connections (so `workers` is exactly the
+# concurrent-session count), verifies every learned difference against the
+# workload ground truth, checks the server's expvar endpoint exports the
+# session histograms, and fails unless BENCH_load.json contains positive
+# throughput and p50/p95/p99 latency entries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workers="${1:-500}"
+duration="${2:-10s}"
+size="${3:-2000}"
+diff="${4:-20}"
+churn="${5:-5}"
+out="BENCH_load.json"
+
+tmp="$(mktemp -d)"
+srv=""
+cleanup() {
+  if [ -n "$srv" ] && kill -0 "$srv" 2>/dev/null; then
+    kill -TERM "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pbs-serve" ./cmd/pbs-serve
+go build -o "$tmp/pbs-loadgen" ./cmd/pbs-loadgen
+
+log="$tmp/serve.log"
+"$tmp/pbs-serve" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+  -demo-size "$size" -demo-d "$diff" -demo-seed 1 \
+  -max-sessions $((workers * 2)) >"$log" 2>&1 &
+srv=$!
+
+addr="" metrics=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/.*serving .* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log")"
+  metrics="$(sed -n 's/.*metrics on http:\/\/\(127\.0\.0\.1:[0-9]*\)\/.*/\1/p' "$log")"
+  [ -n "$addr" ] && [ -n "$metrics" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ] || [ -z "$metrics" ]; then
+  cat "$log" >&2
+  echo "pbs-serve did not start" >&2
+  exit 1
+fi
+
+"$tmp/pbs-loadgen" -addr "$addr" \
+  -workers "$workers" -duration "$duration" \
+  -size "$size" -diff "$diff" -churn "$churn" -workload-seed 1 \
+  -verify -json "$out"
+
+# The run must have measured real throughput and a full latency digest.
+# The strict check runs whenever python3 exists (set -e fails the script
+# on any assertion); only its complete absence selects the grep fallback.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out" "$workers" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+workers = int(sys.argv[2])
+assert rep["workers"] == workers, f"workers {rep['workers']} != {workers}"
+assert rep["syncs"] > 0, "no syncs"
+assert rep["errors"] == 0, f"{rep['errors']} errors: {rep.get('first_error','')}"
+assert rep["syncs_per_sec"] > 0, "no throughput"
+assert rep["bytes_per_sec"] > 0, "no byte throughput"
+lat = rep["latency_us"]
+for q in ("p50", "p95", "p99"):
+    assert lat[q] > 0, f"missing latency {q}"
+assert lat["p50"] <= lat["p95"] <= lat["p99"], "latency quantiles not monotone"
+print(f"BENCH_load.json OK: {rep['syncs']} syncs at {rep['syncs_per_sec']:.0f}/s, "
+      f"p50={lat['p50']/1e3:.2f}ms p99={lat['p99']/1e3:.2f}ms")
+EOF
+else
+  # No python3: minimal grep fallback for the required fields.
+  for field in '"syncs_per_sec"' '"p50"' '"p95"' '"p99"'; do
+    grep -q "$field" "$out" || { echo "missing $field in $out" >&2; exit 1; }
+  done
+  if ! grep -q '"errors": 0' "$out"; then
+    echo "load run reported errors" >&2
+    exit 1
+  fi
+fi
+
+# The server must export the session histograms on expvar.
+if command -v curl >/dev/null 2>&1; then
+  vars="$(curl -fsS "http://$metrics/debug/vars")"
+  for key in LatencyUS SessionRounds SessionBytes; do
+    echo "$vars" | grep -q "\"$key\"" || {
+      echo "metrics endpoint missing $key histogram" >&2
+      exit 1
+    }
+  done
+fi
+
+kill -TERM "$srv"
+wait "$srv" || { cat "$log" >&2; exit 1; }
+srv=""
+tail -n 1 "$log"
+# A clean run drains: every server-side session completed, none failed.
+grep -Eq 'done: [1-9][0-9]* completed, 0 failed, 0 rejected' "$log" || {
+  echo "server saw failed or rejected sessions" >&2
+  exit 1
+}
+echo "pbs-loadgen smoke OK ($workers concurrent sessions)"

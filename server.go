@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pbs/internal/core"
+	"pbs/internal/hist"
 )
 
 // Server answers reconciliation sessions concurrently over TCP (or any
@@ -29,7 +30,10 @@ import (
 // Protocol: a client may open with a msgHello frame naming the registered
 // set to reconcile against; without one the session uses DefaultSetName.
 // Everything after that is the standard wire protocol of sync.go, so
-// SyncInitiator (via Client) talks to a Server unchanged.
+// SyncInitiator (via Client) talks to a Server unchanged. After a completed
+// session the connection stays open and accepts another hello/estimate, so
+// a warm client (Set.Sync over a held connection) amortizes the dial
+// across many syncs; each session gets fresh byte and round budgets.
 type Server struct {
 	opt ServerOptions
 	// protoOpt is opt.Protocol with defaults applied, resolved once; every
@@ -57,6 +61,14 @@ type Server struct {
 	bytesIn   atomic.Int64
 	bytesOut  atomic.Int64
 	rounds    atomic.Int64
+
+	// Per-completed-session distributions (see ServerStats): wall-clock
+	// latency in microseconds, protocol rounds, and wire bytes. Striped
+	// atomics — recording is one atomic add, safe from every connection
+	// goroutine at once.
+	latencyHist hist.Histogram
+	roundsHist  hist.Histogram
+	bytesHist   hist.Histogram
 }
 
 // DefaultSetName is the registry entry a session reconciles against when
@@ -131,12 +143,44 @@ func (o ServerOptions) sessionMaxRounds() int {
 type ServerStats struct {
 	Active    int64 // sessions currently reconciling
 	Accepted  int64 // connections admitted past the capacity check (includes probes that never start a session)
-	Completed int64 // sessions ended by the initiator's msgDone
+	Completed int64 // sessions ended by the initiator's msgDone (a connection may complete several in sequence)
 	Failed    int64 // sessions ended by an error, limit, or disconnect
 	Rejected  int64 // connections turned away at the capacity check or during shutdown
 	BytesIn   int64 // wire bytes read across all sessions
 	BytesOut  int64 // wire bytes written across all sessions
 	Rounds    int64 // protocol rounds answered in completed sessions
+
+	// Distributions over completed sessions, recorded at the moment the
+	// initiator's msgDone lands. LatencyUS is the wall-clock session
+	// duration (admission to close) in microseconds; SessionRounds the
+	// protocol rounds answered; SessionBytes the session's wire bytes in
+	// both directions. Quantiles are histogram-interpolated (<= 12.5%
+	// relative error); Max is exact.
+	LatencyUS     HistogramSummary
+	SessionRounds HistogramSummary
+	SessionBytes  HistogramSummary
+}
+
+// HistogramSummary is the fixed quantile digest of one server histogram,
+// JSON-friendly for the expvar endpoint.
+type HistogramSummary struct {
+	Count int64   // observations (completed sessions)
+	Sum   int64   // sum of observed values
+	Max   int64   // largest observation (exact)
+	P50   float64 // median
+	P95   float64
+	P99   float64
+}
+
+func summarize(s hist.Snapshot) HistogramSummary {
+	return HistogramSummary{
+		Count: s.Count,
+		Sum:   s.Sum,
+		Max:   s.Max,
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
 }
 
 // setSource is a registry entry: something that can produce the immutable
@@ -298,17 +342,20 @@ func (s *Server) admit(conn net.Conn, name string) *ResponderSession {
 	return sess
 }
 
-// Stats returns a snapshot of the server counters.
+// Stats returns a snapshot of the server counters and session histograms.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Active:    s.sessActive.Load(),
-		Accepted:  s.accepted.Load(),
-		Completed: s.completed.Load(),
-		Failed:    s.failed.Load(),
-		Rejected:  s.rejected.Load(),
-		BytesIn:   s.bytesIn.Load(),
-		BytesOut:  s.bytesOut.Load(),
-		Rounds:    s.rounds.Load(),
+		Active:        s.sessActive.Load(),
+		Accepted:      s.accepted.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Rejected:      s.rejected.Load(),
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		Rounds:        s.rounds.Load(),
+		LatencyUS:     summarize(s.latencyHist.Snapshot()),
+		SessionRounds: summarize(s.roundsHist.Snapshot()),
+		SessionBytes:  summarize(s.bytesHist.Snapshot()),
 	}
 }
 
@@ -341,8 +388,10 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			// Transient accept failures (EMFILE under a connection flood,
 			// ECONNABORTED) must not turn into a permanent outage: retry
-			// with backoff, as net/http does.
-			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+			// with backoff, as net/http does. (Asserted structurally: the
+			// net.Error method itself is deprecated as API guidance, but
+			// remains exactly the accept-loop signal it was designed for.)
+			if ne, ok := err.(interface{ Temporary() bool }); ok && ne.Temporary() {
 				if backoff == 0 {
 					backoff = 5 * time.Millisecond
 				} else if backoff *= 2; backoff > time.Second {
@@ -424,8 +473,13 @@ func (s *Server) sendError(conn net.Conn, msg string) {
 	io.Copy(io.Discard, io.LimitReader(conn, maxFrame))
 }
 
-// handle pumps frames between one connection and its ResponderSession,
-// enforcing the per-session limits.
+// handle pumps frames between one connection and its responder sessions,
+// enforcing the per-session limits. A connection carries sessions in
+// sequence: after a completed session (the initiator's msgDone) the
+// connection stays open and a fresh msgHello or msgEstimate starts the
+// next one with its budgets reset — how a warm client fleet amortizes the
+// dial across many syncs. Frame payloads are read into one pooled buffer
+// per connection, reused across frames and sessions.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -443,8 +497,12 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	s.accepted.Add(1)
 
+	buf := getPayloadBuf()
+	defer putPayloadBuf(buf)
+
 	var (
 		sess         *ResponderSession
+		sessStart    time.Time
 		sessionBytes int64
 		roundFrames  int
 	)
@@ -473,7 +531,10 @@ func (s *Server) handle(conn net.Conn) {
 				limit = uint32(remain)
 			}
 		}
-		typ, payload, err := readFrameLimit(conn, limit)
+		typ, payload, err := readFrameInto(conn, limit, (*buf)[:0])
+		if payload != nil {
+			*buf = payload[:0]
+		}
 		if err != nil {
 			// A frame rejected on its declared size gets the diagnostic the
 			// client can act on; plain transport errors do not.
@@ -486,9 +547,10 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				return
 			}
-			// A connection that ends before its first frame — clean EOF,
-			// reset, or idle-deadline expiry alike — is a probe or a
-			// dial-and-abort, not a failed session.
+			// A connection that ends between sessions — clean EOF, reset,
+			// or idle-deadline expiry alike — is a probe, a dial-and-abort,
+			// or a warm client hanging up after its last sync, not a
+			// failed session.
 			if sess != nil || sessionBytes > 0 {
 				s.failed.Add(1)
 			}
@@ -510,12 +572,14 @@ func (s *Server) handle(conn net.Conn) {
 			if sess = s.admit(conn, string(payload)); sess == nil {
 				return
 			}
+			sessStart = time.Now()
 			continue
 		}
 		if sess == nil {
 			if sess = s.admit(conn, DefaultSetName); sess == nil {
 				return
 			}
+			sessStart = time.Now()
 		}
 		if typ == msgRound {
 			roundFrames++
@@ -560,8 +624,16 @@ func (s *Server) handle(conn net.Conn) {
 			if sess.started() {
 				s.completed.Add(1)
 				s.rounds.Add(int64(sess.Rounds()))
+				hint := uint64(cur)
+				s.latencyHist.Record(hint, time.Since(sessStart).Microseconds())
+				s.roundsHist.Record(hint, int64(sess.Rounds()))
+				s.bytesHist.Record(hint, sessionBytes)
 			}
-			return
+			// Keep the connection: the next msgHello or msgEstimate opens
+			// a fresh session under fresh budgets.
+			s.sessActive.Add(-1)
+			sess = nil
+			sessionBytes, roundFrames = 0, 0
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package pbs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sort"
@@ -345,5 +346,90 @@ func TestServerShutdownDrains(t *testing.T) {
 			t.Fatal("closed server still answering")
 		}
 		conn.Close()
+	}
+}
+
+// TestServerSessionReusePerConnection exercises the warm-client shape: one
+// TCP connection carrying several sequential sessions, each opened by a
+// fresh hello/estimate after the previous msgDone, with per-session
+// budgets reset and every session recorded in the stats histograms.
+func TestServerSessionReusePerConnection(t *testing.T) {
+	base := testBaseSet(800)
+	opt := &Options{Seed: 77}
+	srv, addr := startTestServer(t, base, ServerOptions{Protocol: opt})
+
+	local, want := clientSetAndDiff(base, 3)
+	set, err := NewSet(local, WithOptions(*opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const syncs = 3
+	for i := 0; i < syncs; i++ {
+		res, err := set.Sync(context.Background(), conn)
+		if err != nil {
+			t.Fatalf("sync %d over the shared connection: %v", i, err)
+		}
+		if !res.Complete {
+			t.Fatalf("sync %d incomplete", i)
+		}
+		got, exp := sortedU64(res.Difference), sortedU64(want)
+		if len(got) != len(exp) {
+			t.Fatalf("sync %d: |diff| = %d, want %d", i, len(got), len(exp))
+		}
+	}
+
+	st := waitForCompleted(t, srv, syncs)
+	if st.Accepted != 1 {
+		t.Fatalf("accepted = %d connections, want 1 (reused)", st.Accepted)
+	}
+	if st.Failed != 0 || st.Rejected != 0 {
+		t.Fatalf("failed=%d rejected=%d, want 0/0", st.Failed, st.Rejected)
+	}
+	for name, h := range map[string]HistogramSummary{
+		"LatencyUS":     st.LatencyUS,
+		"SessionRounds": st.SessionRounds,
+		"SessionBytes":  st.SessionBytes,
+	} {
+		if h.Count != syncs {
+			t.Errorf("%s.Count = %d, want %d", name, h.Count, syncs)
+		}
+		if h.P50 > h.P95 || h.P95 > h.P99 || h.P99 > float64(h.Max) {
+			t.Errorf("%s quantiles not monotone: %+v", name, h)
+		}
+	}
+	if st.SessionRounds.Max < 1 {
+		t.Errorf("SessionRounds.Max = %d, want >= 1", st.SessionRounds.Max)
+	}
+	if st.SessionBytes.Sum != st.BytesIn+st.BytesOut {
+		t.Errorf("SessionBytes.Sum = %d, want BytesIn+BytesOut = %d",
+			st.SessionBytes.Sum, st.BytesIn+st.BytesOut)
+	}
+	if st.LatencyUS.Max <= 0 {
+		t.Errorf("LatencyUS.Max = %d, want > 0", st.LatencyUS.Max)
+	}
+}
+
+// waitForCompleted polls the server stats until the expected number of
+// completed sessions is accounted (clients return before the server-side
+// handler books the session).
+func waitForCompleted(t *testing.T, srv *Server, want int64) ServerStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Stats()
+		if (st.Completed == want && st.Active == 0) || time.Now().After(deadline) {
+			if st.Completed != want {
+				t.Fatalf("completed = %d, want %d (failed=%d rejected=%d)",
+					st.Completed, want, st.Failed, st.Rejected)
+			}
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"slices"
+	"sync"
 	"time"
 
 	"pbs/internal/core"
@@ -114,6 +115,19 @@ func (e *frameLimitError) Error() string {
 // size — the allocation-amplification defense the Server relies on when
 // it multiplies connections by the hundreds.
 func readFrameLimit(r io.Reader, limit uint32) (typ byte, payload []byte, err error) {
+	return readFrameInto(r, limit, nil)
+}
+
+// readFrameInto is readFrameLimit reading the payload into buf's capacity
+// (buf must have length 0). A session pump that hands the previous frame's
+// buffer back in reads its whole exchange into one steadily-sized
+// allocation instead of one fresh payload per frame — with thousands of
+// concurrent sessions the difference is most of the server's allocation
+// churn. The returned payload aliases buf whenever it fits, so callers
+// must not hand the buffer to a new frame read while the previous payload
+// is still in use; the chunk-wise growth defense above still applies to
+// capacity beyond what buf already owns.
+func readFrameInto(r io.Reader, limit uint32, buf []byte) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -122,17 +136,14 @@ func readFrameLimit(r io.Reader, limit uint32) (typ byte, payload []byte, err er
 	if n > limit {
 		return 0, nil, &frameLimitError{n: n}
 	}
-	first := n
-	if first > frameChunk {
-		first = frameChunk
-	}
-	payload = make([]byte, first)
-	if _, err = io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
-	}
+	payload = buf[:0]
 	for uint32(len(payload)) < n {
 		take := n - uint32(len(payload))
-		if take > frameChunk {
+		// Capacity already owned is free to fill in one read; beyond it,
+		// grow by at most one chunk per read.
+		if owned := uint32(cap(payload) - len(payload)); owned > 0 && take > owned {
+			take = owned
+		} else if owned == 0 && take > frameChunk {
 			take = frameChunk
 		}
 		start := len(payload)
@@ -142,6 +153,24 @@ func readFrameLimit(r io.Reader, limit uint32) (typ byte, payload []byte, err er
 		}
 	}
 	return hdr[4], payload, nil
+}
+
+// payloadPool recycles frame payload buffers across sessions and
+// connections. Buffers that ballooned past maxPooledBuf (a legitimately
+// huge frame) are dropped instead of pinned in the pool.
+var payloadPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4<<10); return &b },
+}
+
+const maxPooledBuf = 1 << 20
+
+func getPayloadBuf() *[]byte { return payloadPool.Get().(*[]byte) }
+
+func putPayloadBuf(b *[]byte) {
+	if cap(*b) <= maxPooledBuf {
+		*b = (*b)[:0]
+		payloadPool.Put(b)
+	}
 }
 
 // encodeSketches serializes ToW sketch values as zigzag varints.
@@ -210,6 +239,7 @@ type framePump struct {
 	idle        time.Duration
 	ctxDeadline time.Time // zero when ctx has no deadline
 	armed       bool      // a deadline was ever set on the conn
+	buf         *[]byte   // pooled payload buffer reused across frames
 }
 
 // newFramePump builds a pump and starts the cancellation watcher. The
@@ -218,7 +248,7 @@ type framePump struct {
 // clears any deadline the pump set, so the caller gets its connection back
 // in the state it lent it — reusable for a follow-up protocol.
 func newFramePump(ctx context.Context, conn io.ReadWriter, idle time.Duration) (*framePump, func()) {
-	p := &framePump{ctx: ctx, conn: conn, idle: idle}
+	p := &framePump{ctx: ctx, conn: conn, idle: idle, buf: getPayloadBuf()}
 	p.dl, _ = conn.(deadlineConn)
 	if d, ok := ctx.Deadline(); ok {
 		p.ctxDeadline = d
@@ -251,6 +281,10 @@ func newFramePump(ctx context.Context, conn io.ReadWriter, idle time.Duration) (
 		if p.dl != nil && p.armed {
 			p.dl.SetReadDeadline(time.Time{})
 			p.dl.SetWriteDeadline(time.Time{})
+		}
+		if p.buf != nil {
+			putPayloadBuf(p.buf)
+			p.buf = nil
 		}
 	}
 	return p, stop
@@ -300,13 +334,19 @@ func (p *framePump) armWrite() {
 	}
 }
 
-// readFrame reads one frame, honoring cancellation and deadlines.
+// readFrame reads one frame, honoring cancellation and deadlines. The
+// payload is read into the pump's pooled buffer, valid until the next
+// readFrame: session Steps fully consume a payload before returning, so
+// one steady buffer serves the whole exchange.
 func (p *framePump) readFrame() (byte, []byte, error) {
 	if err := p.ctx.Err(); err != nil {
 		return 0, nil, err
 	}
 	p.armRead()
-	typ, payload, err := readFrame(p.conn)
+	typ, payload, err := readFrameInto(p.conn, maxFrame, (*p.buf)[:0])
+	if payload != nil {
+		*p.buf = payload[:0]
+	}
 	if err != nil {
 		return 0, nil, p.mapErr(err)
 	}
