@@ -2,6 +2,7 @@ package pbs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -43,6 +44,13 @@ type Client struct {
 	// for this long fails the sync with a timeout instead of hanging it.
 	// 0 selects DefaultClientIdleTimeout; negative disables the bound.
 	IdleTimeout time.Duration
+	// LegacySync disables the single-RTT fast path and opens with the
+	// multi-RTT protocol-0 negotiation. By default the client sends a
+	// msgHelloV1 fast hello and, if the server answers with msgError
+	// (a pre-fast-path build), transparently redials and retries the
+	// legacy flow once — so leaving this false is safe against old
+	// servers, at the cost of one wasted dial the first time.
+	LegacySync bool
 }
 
 // Sync dials the server and learns local △ remote for the configured
@@ -69,6 +77,36 @@ func (c *Client) SyncContext(ctx context.Context, local []uint64) (*Result, erro
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
 		defer cancel()
 	}
+	idle := c.IdleTimeout
+	if idle == 0 {
+		idle = DefaultClientIdleTimeout
+	}
+	syncOnce := func(fast bool) (*Result, error) {
+		conn, err := c.dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		opts := []Option{WithIdleTimeout(idle), WithFastSync(fast)}
+		if c.Set != "" {
+			opts = append(opts, WithSetName(c.Set))
+		}
+		return set.Sync(ctx, conn, opts...)
+	}
+	res, err := syncOnce(!c.LegacySync)
+	if err != nil && !c.LegacySync && errors.Is(err, ErrFastSyncRejected) {
+		// The server does not speak the fast hello (or rejected it before
+		// reading it); negotiate down to the multi-RTT flow over a fresh
+		// connection. A genuine rejection (unknown set, capacity) repeats
+		// here and surfaces as the server's own diagnostic.
+		return syncOnce(false)
+	}
+	return res, err
+}
+
+// dial opens one TCP connection to the server under the context and the
+// configured dial timeout, with TCP_NODELAY set explicitly.
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
 	dt := c.DialTimeout
 	if dt == 0 {
 		dt = 10 * time.Second
@@ -78,14 +116,6 @@ func (c *Client) SyncContext(ctx context.Context, local []uint64) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	idle := c.IdleTimeout
-	if idle == 0 {
-		idle = DefaultClientIdleTimeout
-	}
-	opts := []Option{WithIdleTimeout(idle)}
-	if c.Set != "" {
-		opts = append(opts, WithSetName(c.Set))
-	}
-	return set.Sync(ctx, conn, opts...)
+	setNoDelay(conn)
+	return conn, nil
 }

@@ -49,16 +49,18 @@ func main() {
 		churn = flag.Int("churn", 0, "elements toggled through Add/Remove between syncs")
 		wseed = flag.Int64("workload-seed", 1, "workload seed (server -demo-seed)")
 
-		rate      = flag.Float64("rate", 0, "open-loop target syncs/s across the fleet (0 = closed loop)")
-		reconnect = flag.Bool("reconnect", false, "dial a fresh connection per sync instead of holding warm connections")
-		timeout   = flag.Duration("sync-timeout", 30*time.Second, "per-sync deadline")
-		verify    = flag.Bool("verify", false, "check every learned difference against the tracked ground truth")
+		rate       = flag.Float64("rate", 0, "open-loop target syncs/s across the fleet (0 = closed loop)")
+		reconnect  = flag.Bool("reconnect", false, "dial a fresh connection per sync instead of holding warm connections")
+		timeout    = flag.Duration("sync-timeout", 30*time.Second, "per-sync deadline")
+		verify     = flag.Bool("verify", false, "check every learned difference against the tracked ground truth")
+		legacySync = flag.Bool("legacy-sync", false, "use the multi-RTT protocol-0 flow instead of the single-RTT fast path")
 
 		seed         = flag.Uint64("seed", 42, "shared protocol hash seed (server -seed)")
 		maxD         = flag.Int("max-d", 0, "cap on the accepted difference estimate d̂ (0 = library default)")
 		strongVerify = flag.Bool("strong-verify", false, "request the strong multiset-hash verification")
 
-		jsonPath = flag.String("json", "", "write the machine-readable report to this file (e.g. BENCH_load.json)")
+		jsonPath  = flag.String("json", "", "write the machine-readable report to this file (e.g. BENCH_load.json)")
+		benchPath = flag.String("latency-bench", "", "additionally write the sync-latency quantiles in benchgate format (e.g. BENCH_latency.json)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -81,6 +83,7 @@ func main() {
 		Reconnect:      *reconnect,
 		SyncTimeout:    *timeout,
 		Verify:         *verify,
+		LegacySync:     *legacySync,
 		Options:        &pbs.Options{Seed: *seed, MaxD: *maxD, StrongVerify: *strongVerify},
 	}
 
@@ -101,6 +104,13 @@ func main() {
 			}
 			fmt.Printf("pbs-loadgen: wrote %s\n", *jsonPath)
 		}
+		if *benchPath != "" {
+			if werr := writeLatencyBench(*benchPath, rep); werr != nil {
+				fmt.Fprintln(os.Stderr, "pbs-loadgen:", werr)
+				os.Exit(1)
+			}
+			fmt.Printf("pbs-loadgen: wrote %s\n", *benchPath)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbs-loadgen:", err)
@@ -114,6 +124,32 @@ func main() {
 
 func writeJSON(path string, rep *load.Report) error {
 	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeLatencyBench exports the client-observed sync-latency quantiles in
+// the benchgate entry format, so scripts/bench_load.sh can gate loopback
+// sync latency against a committed BENCH_latency baseline exactly like
+// the decode and API benchmarks. Quantiles are microseconds in the
+// report; ns_per_op is the benchgate unit.
+func writeLatencyBench(path string, rep *load.Report) error {
+	type entry struct {
+		Name        string  `json:"name"`
+		Iterations  int64   `json:"iterations"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	}
+	lat := rep.LatencyUS
+	entries := []entry{
+		{Name: "SyncLatency/p50", Iterations: lat.Count, NsPerOp: lat.P50 * 1e3},
+		{Name: "SyncLatency/p95", Iterations: lat.Count, NsPerOp: lat.P95 * 1e3},
+		{Name: "SyncLatency/p99", Iterations: lat.Count, NsPerOp: lat.P99 * 1e3},
+	}
+	b, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		return err
 	}

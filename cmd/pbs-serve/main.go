@@ -61,6 +61,7 @@ func main() {
 		seed         = flag.Uint64("seed", 42, "shared protocol hash seed (must match on both sides)")
 		maxD         = flag.Int("max-d", 0, "cap on the accepted difference estimate d̂ (0 = library default)")
 		strongVerify = flag.Bool("strong-verify", false, "client: request the strong multiset-hash verification")
+		legacySync   = flag.Bool("legacy-sync", false, "client: use the multi-RTT protocol-0 flow instead of the single-RTT fast path")
 
 		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap (0 = default, <0 = uncapped)")
 		idle        = flag.Duration("idle-timeout", 0, "per-frame idle deadline (0 = default, <0 = disabled)")
@@ -73,7 +74,7 @@ func main() {
 	opt := &pbs.Options{Seed: *seed, MaxD: *maxD, StrongVerify: *strongVerify}
 
 	if *syncTo != "" {
-		runClient(*syncTo, *setName, opt, *setPath, *demoSize, *demoD, *demoSeed)
+		runClient(*syncTo, *setName, opt, *setPath, *demoSize, *demoD, *demoSeed, *legacySync)
 		return
 	}
 
@@ -149,14 +150,14 @@ func main() {
 // runClient syncs the local set (from -set or workload side A) against a
 // running server and, when the workload ground truth is available,
 // verifies the learned difference exactly.
-func runClient(addr, setName string, opt *pbs.Options, setPath string, demoSize, demoD int, demoSeed int64) {
+func runClient(addr, setName string, opt *pbs.Options, setPath string, demoSize, demoD int, demoSeed int64, legacySync bool) {
 	local, want, err := loadSet(setPath, demoSize, demoD, demoSeed, true)
 	if err != nil {
 		fatal(err)
 	}
 	// The server resolves an absent hello to its default set; only name
 	// non-default sets explicitly.
-	c := &pbs.Client{Addr: addr, Options: opt, Timeout: 2 * time.Minute}
+	c := &pbs.Client{Addr: addr, Options: opt, Timeout: 2 * time.Minute, LegacySync: legacySync}
 	if setName != pbs.DefaultSetName {
 		c.Set = setName
 	}

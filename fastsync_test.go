@@ -1,0 +1,548 @@
+package pbs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"pbs/internal/workload"
+)
+
+// parseStream splits a recorded wire stream back into frames.
+func parseStream(t *testing.T, b []byte) []Frame {
+	t.Helper()
+	var frames []Frame
+	r := bytes.NewReader(b)
+	for r.Len() > 0 {
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("corrupt recorded stream: %v", err)
+		}
+		frames = append(frames, Frame{typ, append([]byte(nil), payload...)})
+	}
+	return frames
+}
+
+func frameTypes(frames []Frame) []byte {
+	types := make([]byte, len(frames))
+	for i, f := range frames {
+		types[i] = f.Type
+	}
+	return types
+}
+
+// driveFast runs a fast-path engine exchange to completion and returns the
+// initiator session plus both recorded frame streams.
+func driveFast(t *testing.T, is *InitiatorSession, opening []Frame, rs *ResponderSession) (iStream, rStream []byte) {
+	t.Helper()
+	toResponder := opening
+	done := false
+	for !done {
+		iStream = append(iStream, frameBytes(toResponder)...)
+		var toInitiator []Frame
+		for _, f := range toResponder {
+			out, _, err := rs.Step(f.Type, f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toInitiator = append(toInitiator, out...)
+		}
+		rStream = append(rStream, frameBytes(toInitiator)...)
+		toResponder = nil
+		for _, f := range toInitiator {
+			out, d, err := is.Step(f.Type, f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			toResponder = append(toResponder, out...)
+			done = d
+		}
+		if done {
+			iStream = append(iStream, frameBytes(toResponder)...)
+			for _, f := range toResponder {
+				if _, _, err := rs.Step(f.Type, f.Payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return iStream, rStream
+}
+
+// TestFastSyncSingleRoundTrip is the tentpole assertion: a warm sync whose
+// speculation holds completes in one round trip — the initiator puts
+// exactly msgHelloV1 and msgDone on the wire and the responder exactly one
+// msgHelloReplyV1 — including under StrongVerify, whose digest rides the
+// reply instead of costing a msgVerify exchange.
+func TestFastSyncSingleRoundTrip(t *testing.T) {
+	for _, strong := range []bool{false, true} {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 20, Seed: 61})
+		// The speculation carries headroom over the true difference — the
+		// shape Set.speculativeD produces from a prior — so round 1
+		// decodes everything and the exchange is one round trip.
+		opt := Options{Seed: 62, StrongVerify: strong, KnownD: 40}
+		setA, err := NewSet(p.A, WithOptions(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		setB, err := NewSet(p.B, WithOptions(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, cb := net.Pipe()
+		iSide := &teeRW{ReadWriter: ca}
+		rSide := &teeRW{ReadWriter: cb}
+		respErr := make(chan error, 1)
+		go func() {
+			defer cb.Close()
+			respErr <- setB.Respond(context.Background(), rSide)
+		}()
+		res, err := setA.Sync(context.Background(), iSide, WithFastSync(true))
+		ca.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-respErr; err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatalf("strong=%v: incomplete after %d rounds", strong, res.Rounds)
+		}
+		assertSameSet(t, res.Difference, p.Diff)
+
+		iFrames := parseStream(t, iSide.bytes())
+		rFrames := parseStream(t, rSide.bytes())
+		if it := frameTypes(iFrames); len(it) != 2 || it[0] != msgHelloV1 || it[1] != msgDone {
+			t.Fatalf("strong=%v: initiator sent frame types %v, want [%d %d] (1 RTT)",
+				strong, it, msgHelloV1, msgDone)
+		}
+		if rt := frameTypes(rFrames); len(rt) != 1 || rt[0] != msgHelloReplyV1 {
+			t.Fatalf("strong=%v: responder sent frame types %v, want [%d] (1 RTT)",
+				strong, rt, msgHelloReplyV1)
+		}
+		rep, err := parseFastHelloReply(rFrames[0].Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.answered {
+			t.Fatalf("strong=%v: responder declined a correctly sized speculation", strong)
+		}
+		if strong && rep.digest == nil {
+			t.Fatalf("requested verification digest missing from hello reply")
+		}
+		if res.Rounds != 1 {
+			t.Fatalf("strong=%v: %d rounds, want 1", strong, res.Rounds)
+		}
+	}
+}
+
+// TestFastSyncWireEquivalence is the fast-path tee: Set.Sync with
+// WithFastSync against Set.Respond must put byte-identical streams on the
+// wire as the stepped engine sessions, with identical results — the same
+// contract TestSessionEngineWireEquivalence pins for the legacy flow.
+func TestFastSyncWireEquivalence(t *testing.T) {
+	for _, strong := range []bool{false, true} {
+		p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 80, Seed: 63})
+		opt := &Options{Seed: 64, StrongVerify: strong, KnownD: 80}
+
+		ssA, err := NewSharedSet(p.A, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		is, opening, err := ssA.newFastInitiatorSession(ssA.opt, nil, "", 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := NewResponderSession(p.B, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iStream, rStream := driveFast(t, is, opening, rs)
+		engRes := is.Result()
+		if engRes == nil {
+			t.Fatal("engine produced no result")
+		}
+
+		setA, err := NewSet(p.A, WithOptions(*opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		setB, err := NewSet(p.B, WithOptions(*opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ca, cb := net.Pipe()
+		iSide := &teeRW{ReadWriter: ca}
+		rSide := &teeRW{ReadWriter: cb}
+		respErr := make(chan error, 1)
+		go func() {
+			defer cb.Close()
+			respErr <- setB.Respond(context.Background(), rSide)
+		}()
+		res, err := setA.Sync(context.Background(), iSide, WithFastSync(true))
+		ca.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-respErr; err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(iSide.bytes(), iStream) {
+			t.Fatalf("strong=%v: fast Set.Sync wire stream diverges from engine frames (%d vs %d bytes)",
+				strong, len(iSide.bytes()), len(iStream))
+		}
+		if !bytes.Equal(rSide.bytes(), rStream) {
+			t.Fatalf("strong=%v: fast Set.Respond wire stream diverges from engine frames (%d vs %d bytes)",
+				strong, len(rSide.bytes()), len(rStream))
+		}
+		if len(res.Difference) != len(engRes.Difference) ||
+			res.Complete != engRes.Complete ||
+			res.Rounds != engRes.Rounds ||
+			res.WireBytes != engRes.WireBytes ||
+			res.PayloadBytes != engRes.PayloadBytes ||
+			res.EstimatorBytes != engRes.EstimatorBytes ||
+			res.EstimatedD != engRes.EstimatedD {
+			t.Fatalf("strong=%v: Set result %+v != engine result %+v", strong, res, engRes)
+		}
+		assertSameSet(t, res.Difference, p.Diff)
+	}
+}
+
+// TestFastSyncUndersizedSpeculation pins the degrade path: a speculative
+// round sized well under the true difference is still answered (it falls
+// inside the acceptance window), round 1 leaves some groups undecoded, and
+// the normal split machinery finishes the job in later rounds with the
+// exact difference — piecewise decodability making the mis-sized gamble
+// safe.
+func TestFastSyncUndersizedSpeculation(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 80, Seed: 65})
+	opt := &Options{Seed: 66}
+	const specD = 45 // true d̂ ≈ 80: inside the 2·45+16 acceptance window
+
+	ssA, err := NewSharedSet(p.A, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, opening, err := ssA.newFastInitiatorSession(ssA.opt, nil, "", specD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewResponderSession(p.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rStream := driveFast(t, is, opening, rs)
+
+	rFrames := parseStream(t, rStream)
+	if rFrames[0].Type != msgHelloReplyV1 {
+		t.Fatalf("first responder frame type %d, want %d", rFrames[0].Type, msgHelloReplyV1)
+	}
+	rep, err := parseFastHelloReply(rFrames[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.answered {
+		t.Fatalf("speculation d_spec=%d declined at d̂=%d; want it inside the acceptance window", specD, rep.dhat)
+	}
+	if !fastSpecAccepted(specD, rep.dhat) {
+		t.Fatalf("responder answered outside its own acceptance rule (d_spec=%d, d̂=%d)", specD, rep.dhat)
+	}
+	res := is.Result()
+	if res == nil || !res.Complete {
+		t.Fatalf("undersized speculation did not complete: %+v", res)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("undersized speculation finished in %d round(s); expected the degrade into round 2+", res.Rounds)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+// TestSpeculativeDAvoidsFailedPlan pins the speculation sizing: an
+// explicit WithKnownD wins outright, a cold handle opens at
+// DefaultSpeculativeD, a warm handle sizes from the last difference plus
+// slim headroom — and a bound whose plan just cost an extra round is not
+// replayed. Whether a plan decodes a difference in one round is a fixed
+// draw for fixed sets, so without the hop a quiet set would repeat the
+// same failing speculation on every sync.
+func TestSpeculativeDAvoidsFailedPlan(t *testing.T) {
+	s, err := NewSet([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.speculativeD(Options{}); got != DefaultSpeculativeD {
+		t.Fatalf("cold handle speculated %d, want DefaultSpeculativeD=%d", got, DefaultSpeculativeD)
+	}
+	if got := s.speculativeD(Options{KnownD: 7}); got != 7 {
+		t.Fatalf("KnownD=7 speculated %d, want 7", got)
+	}
+	s.specPrior.Store(21) // last sync learned a difference of 20
+	base := s.speculativeD(Options{})
+	if base <= 20 {
+		t.Fatalf("warm speculation %d carries no headroom over the prior difference 20", base)
+	}
+	s.specAvoid.Store(base)
+	hopped := s.speculativeD(Options{})
+	if hopped == base {
+		t.Fatalf("speculation replayed the bound %d that just failed to decode in one round", base)
+	}
+	if hopped < base {
+		t.Fatalf("hopped speculation %d shrank below the failed bound %d", hopped, base)
+	}
+	// The avoided bound is specific: a different prior is unaffected.
+	s.specPrior.Store(2 * 21)
+	if got, unaffected := s.speculativeD(Options{}), s.specAvoid.Load(); got == unaffected {
+		t.Fatalf("unrelated speculation collided with the avoided bound %d", unaffected)
+	}
+}
+
+// TestFastSyncDeclinedSpeculation pins the decline path: a speculation the
+// estimate dwarfs is not answered; both sides re-plan deterministically
+// from the true d̂ and the session still converges on the exact difference
+// — costing what the legacy negotiation would have, never more.
+func TestFastSyncDeclinedSpeculation(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 3000, D: 500, Seed: 67})
+	opt := &Options{Seed: 68}
+
+	ssA, err := NewSharedSet(p.A, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, opening, err := ssA.newFastInitiatorSession(ssA.opt, nil, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewResponderSession(p.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rStream := driveFast(t, is, opening, rs)
+
+	rFrames := parseStream(t, rStream)
+	rep, err := parseFastHelloReply(rFrames[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.answered {
+		t.Fatalf("responder answered a d_spec=1 speculation at d̂=%d", rep.dhat)
+	}
+	if fastSpecAccepted(1, rep.dhat) {
+		t.Fatalf("acceptance rule admits d̂=%d against d_spec=1", rep.dhat)
+	}
+	res := is.Result()
+	if res == nil || !res.Complete {
+		t.Fatalf("declined speculation did not complete: %+v", res)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+}
+
+// TestClientLegacyFallback stands up a legacy-only responder — it answers
+// anything but the protocol-0 flow with msgError, exactly like a
+// pre-fast-path build — and checks both negotiation outcomes: the default
+// client transparently redials and completes over the legacy flow, and an
+// explicit LegacySync client never trips over the fast hello at all.
+func TestClientLegacyFallback(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 1000, D: 15, Seed: 69})
+	opt := &Options{Seed: 70}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fastHellos := make(chan struct{}, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				rs, err := NewResponderSession(p.B, opt)
+				if err != nil {
+					return
+				}
+				for {
+					typ, payload, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					if typ > msgError {
+						// A legacy engine has no case for post-v0 frame
+						// types; it fails the session and reports the
+						// unexpected type to the peer.
+						fastHellos <- struct{}{}
+						writeFrame(conn, msgError, fmt.Appendf(nil, "pbs: unexpected message type %d", typ))
+						return
+					}
+					out, done, err := rs.Step(typ, payload)
+					if err != nil {
+						writeFrame(conn, msgError, []byte(err.Error()))
+						return
+					}
+					if err := writeFrames(conn, out); err != nil {
+						return
+					}
+					if done {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	c := &Client{Addr: ln.Addr().String(), Options: opt, Timeout: time.Minute}
+	res, err := c.Sync(p.A)
+	if err != nil {
+		t.Fatalf("fast client against legacy responder: %v", err)
+	}
+	if !res.Complete {
+		t.Fatalf("incomplete after fallback: %+v", res)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+	select {
+	case <-fastHellos:
+	default:
+		t.Fatal("legacy responder never saw the fast hello; fallback path untested")
+	}
+
+	lc := &Client{Addr: ln.Addr().String(), Options: opt, Timeout: time.Minute, LegacySync: true}
+	res, err = lc.Sync(p.A)
+	if err != nil {
+		t.Fatalf("legacy client: %v", err)
+	}
+	assertSameSet(t, res.Difference, p.Diff)
+	select {
+	case <-fastHellos:
+		t.Fatal("LegacySync client sent a fast hello")
+	default:
+	}
+}
+
+// TestFastSyncServerNamedSet covers the server-side admission path: a fast
+// hello names the registry set inline (no separate msgHello frame), the
+// server admits against it, and a warm connection runs fast sessions back
+// to back. An unknown name is rejected with the server's own diagnostic,
+// surfaced through the ErrFastSyncRejected wrapper.
+func TestFastSyncServerNamedSet(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 2000, D: 20, Seed: 71})
+	opt := Options{Seed: 72}
+	srv := NewServer(ServerOptions{Protocol: &opt})
+	if err := srv.Register("catalog", p.B); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	set, err := NewSet(p.A, WithOptions(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ { // warm connection: sessions in sequence
+		res, err := set.Sync(context.Background(), conn, WithFastSync(true), WithSetName("catalog"))
+		if err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+		if !res.Complete {
+			t.Fatalf("sync %d incomplete", i)
+		}
+		assertSameSet(t, res.Difference, p.Diff)
+	}
+	// The closing msgDone is fire-and-forget; give the server a moment to
+	// process the last one before sampling the counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Completed != 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := srv.Stats(); st.Completed != 3 {
+		t.Fatalf("server completed %d sessions, want 3", st.Completed)
+	}
+
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	_, err = set.Sync(context.Background(), conn2, WithFastSync(true), WithSetName("no-such-set"))
+	if !errors.Is(err, ErrFastSyncRejected) {
+		t.Fatalf("unknown set error = %v, want ErrFastSyncRejected wrapper", err)
+	}
+}
+
+// TestFastHelloVersionNegotiation pins the two engine-level negotiation
+// signals: a responder rejects a hello version it does not speak (the
+// resulting msgError is what an old initiator of the future sees), and an
+// initiator maps a msgError answer to its fast hello onto the
+// ErrFastSyncRejected sentinel.
+func TestFastHelloVersionNegotiation(t *testing.T) {
+	p := workload.MustGenerate(workload.Config{UniverseBits: 32, SizeA: 500, D: 5, Seed: 73})
+	opt := &Options{Seed: 74}
+	rs, err := NewResponderSession(p.B, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := appendFastHello(nil, fastHello{version: 99})
+	if _, _, err := rs.Step(msgHelloV1, hello); err == nil {
+		t.Fatal("responder accepted an unknown hello version")
+	}
+
+	ssA, err := NewSharedSet(p.A, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, _, err := ssA.newFastInitiatorSession(ssA.opt, nil, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = is.Step(msgError, []byte("pbs: unexpected message type 10"))
+	if !errors.Is(err, ErrFastSyncRejected) {
+		t.Fatalf("msgError answer = %v, want ErrFastSyncRejected wrapper", err)
+	}
+}
+
+// TestPayloadPoolCap is the regression guard for the pool-pinning fix: a
+// buffer grown past maxPooledBuf by one huge frame must not be eligible
+// for the pool, while every normally sized buffer still recycles.
+func TestPayloadPoolCap(t *testing.T) {
+	if !poolableBuf(maxPooledBuf) {
+		t.Fatalf("buffer at the %d-byte cap should pool", maxPooledBuf)
+	}
+	if poolableBuf(maxPooledBuf + 1) {
+		t.Fatal("buffer past the cap must not pool")
+	}
+	big := make([]byte, 0, maxPooledBuf+1)
+	putPayloadBuf(&big) // must drop it, not pin it
+}
+
+// TestNotifyPeerErrorStalledPeer checks that the best-effort msgError
+// notification cannot hang teardown: against a peer that never reads (a
+// net.Pipe end), the bounded write returns within its short deadline.
+func TestNotifyPeerErrorStalledPeer(t *testing.T) {
+	ca, cb := net.Pipe()
+	defer ca.Close()
+	defer cb.Close()
+	start := time.Now()
+	notifyPeerError(ca, errors.New("boom"))
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("notifyPeerError blocked %v against a stalled peer", elapsed)
+	}
+}

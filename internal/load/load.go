@@ -76,6 +76,9 @@ type Config struct {
 	// set (ground truth tracked through churn) and counts mismatches as
 	// errors. Costs O(d) per sync.
 	Verify bool
+	// LegacySync disables the single-RTT fast path and measures the
+	// multi-RTT protocol-0 flow (the pre-fast-path baseline shape).
+	LegacySync bool
 
 	// Options is the protocol configuration; it must match the server's.
 	Options *pbs.Options
@@ -134,6 +137,7 @@ type Report struct {
 	Churn     int     `json:"churn"`
 	Rate      float64 `json:"rate_target"` // 0 = closed loop
 	Reconnect bool    `json:"reconnect"`
+	FastSync  bool    `json:"fast_sync"` // single-RTT fast path in use
 
 	DurationSec  float64        `json:"duration_sec"`
 	Syncs        int64          `json:"syncs"`
@@ -335,6 +339,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Churn:     cfg.Churn,
 		Rate:      cfg.Rate,
 		Reconnect: cfg.Reconnect,
+		FastSync:  !cfg.LegacySync,
 
 		DurationSec:  elapsed.Seconds(),
 		BytesRead:    bytesR.Load(),
@@ -385,8 +390,7 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 	reused := w.conn != nil && !cfg.Reconnect
 	if w.conn == nil || cfg.Reconnect {
 		w.closeConn()
-		var d net.Dialer
-		conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+		conn, err := dial(ctx, cfg.Addr)
 		if err != nil {
 			return err
 		}
@@ -394,7 +398,7 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 	}
 	syncCtx, cancel := context.WithTimeout(ctx, cfg.SyncTimeout)
 	defer cancel()
-	var opts []pbs.Option
+	opts := []pbs.Option{pbs.WithFastSync(!cfg.LegacySync)}
 	if cfg.SetName != "" {
 		opts = append(opts, pbs.WithSetName(cfg.SetName))
 	}
@@ -403,8 +407,7 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 	elapsed := time.Since(start)
 	if err != nil && reused && ctx.Err() == nil {
 		w.closeConn()
-		var d net.Dialer
-		conn, derr := d.DialContext(syncCtx, "tcp", cfg.Addr)
+		conn, derr := dial(syncCtx, cfg.Addr)
 		if derr != nil {
 			return err // report the sync failure, not the retry dial
 		}
@@ -488,6 +491,20 @@ func (w *worker) verify(diff []uint64) error {
 		}
 	}
 	return nil
+}
+
+// dial opens one connection to the server with TCP_NODELAY set explicitly
+// — the latency measurement depends on it, so it is not left to defaults.
+func dial(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return conn, nil
 }
 
 func (w *worker) closeConn() {

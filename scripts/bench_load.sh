@@ -95,6 +95,42 @@ else
   fi
 fi
 
+# Phase 2: loopback sync-latency probe. Latency and throughput need
+# separate measurements: phase 1 loads the server with a closed-loop
+# fleet, so its quantiles include queueing (on a small CI runner even a
+# few concurrent workers serialize on the CPU and p50 degenerates to
+# workers/throughput). A single closed-loop worker keeps exactly one
+# sync in flight, so p50 here measures what the protocol actually costs
+# end to end — the single-RTT fast path must land it at or under 1ms —
+# and the quantiles are exported in benchgate format and gated against
+# the committed BENCH_latency baseline (wide tolerance: wall-clock
+# latency on shared CI runners jitters far more than the in-process
+# benchmarks do).
+lat_out="BENCH_latency.json"
+"$tmp/pbs-loadgen" -addr "$addr" \
+  -workers 1 -duration 5s \
+  -size "$size" -diff "$diff" -churn "$churn" -workload-seed 1 \
+  -verify -json "$tmp/latency_report.json" -latency-bench "$lat_out"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$lat_out" <<'EOF'
+import json, sys
+entries = {e["name"]: e for e in json.load(open(sys.argv[1]))}
+p50_us = entries["SyncLatency/p50"]["ns_per_op"] / 1e3
+assert p50_us > 0, "no p50 latency measured"
+assert p50_us <= 1000, f"loopback sync p50 {p50_us:.0f}us exceeds the 1ms budget"
+print(f"BENCH_latency.json OK: loopback sync p50={p50_us:.0f}us")
+EOF
+else
+  grep -q '"SyncLatency/p50"' "$lat_out" || {
+    echo "missing SyncLatency/p50 in $lat_out" >&2
+    exit 1
+  }
+fi
+go run ./cmd/pbs-benchgate \
+  -baseline testdata/bench_baselines/BENCH_latency.json \
+  -current "$lat_out" -max-ns-regress 1.5
+
 # The server must export the session histograms on expvar.
 if command -v curl >/dev/null 2>&1; then
   vars="$(curl -fsS "http://$metrics/debug/vars")"

@@ -30,7 +30,11 @@ import (
 // Protocol: a client may open with a msgHello frame naming the registered
 // set to reconcile against; without one the session uses DefaultSetName.
 // Everything after that is the standard wire protocol of sync.go, so
-// SyncInitiator (via Client) talks to a Server unchanged. After a completed
+// SyncInitiator (via Client) talks to a Server unchanged. A fast client
+// instead opens with a single msgHelloV1 frame (name, sketches, and a
+// speculative first round in one), which the server admits and answers
+// identically — the common warm sync then completes in one round trip.
+// After a completed
 // session the connection stays open and accepts another hello/estimate, so
 // a warm client (Set.Sync over a held connection) amortizes the dial
 // across many syncs; each session gets fresh byte and round budgets.
@@ -403,6 +407,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		backoff = 0
+		setNoDelay(conn)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -575,13 +580,31 @@ func (s *Server) handle(conn net.Conn) {
 			sessStart = time.Now()
 			continue
 		}
+		if typ == msgHelloV1 && sess == nil {
+			// A fast hello both names the set and opens the session, so the
+			// admission happens here and the frame still reaches the engine.
+			name, err := fastHelloSetName(payload)
+			if err != nil {
+				fail(err.Error())
+				return
+			}
+			if name == "" {
+				name = DefaultSetName
+			}
+			if sess = s.admit(conn, name); sess == nil {
+				return
+			}
+			sessStart = time.Now()
+		}
 		if sess == nil {
 			if sess = s.admit(conn, DefaultSetName); sess == nil {
 				return
 			}
 			sessStart = time.Now()
 		}
-		if typ == msgRound {
+		if typ == msgRound || typ == msgHelloV1 {
+			// A fast hello carries a speculative round, so it spends the
+			// round budget like any msgRound.
 			roundFrames++
 			if max := s.opt.sessionMaxRounds(); max > 0 && roundFrames > max {
 				fail("session round budget exceeded")
@@ -590,22 +613,26 @@ func (s *Server) handle(conn net.Conn) {
 		}
 
 		out, done, stepErr := sess.Step(typ, payload)
-		for _, f := range out {
+		if len(out) > 0 {
 			// The idle deadline covers writes too: a client that stops
 			// reading must not pin this goroutine (and its session slot)
-			// in a blocked send forever.
+			// in a blocked send forever. The step's frames go out in one
+			// coalesced write.
 			if t := s.opt.idleTimeout(); t > 0 {
 				conn.SetWriteDeadline(time.Now().Add(t))
 			}
-			if werr := writeFrame(conn, f.Type, f.Payload); werr != nil {
+			if werr := writeFrames(conn, out); werr != nil {
 				if stepErr == nil {
 					stepErr = werr
 				}
-				break
+			} else {
+				var wn int64
+				for _, f := range out {
+					wn += int64(5 + len(f.Payload))
+				}
+				sessionBytes += wn
+				s.bytesOut.Add(wn)
 			}
-			wn := int64(5 + len(f.Payload))
-			sessionBytes += wn
-			s.bytesOut.Add(wn)
 		}
 		if stepErr == nil {
 			if budget := s.opt.sessionByteBudget(); budget > 0 && sessionBytes > budget {

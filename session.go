@@ -102,6 +102,14 @@ type InitiatorSession struct {
 	aliceWireBits int
 	bobWireBits   int
 
+	// Fast-path state: payload bits of a speculative round the responder
+	// declined (still spent on the wire, so still accounted), and the
+	// verification digest piggybacked on the hello reply, which lets a
+	// StrongVerify session skip the msgVerify round trip.
+	specBits   int
+	haveDigest bool
+	peerDigest msethash.Digest
+
 	res *Result
 }
 
@@ -109,8 +117,22 @@ const (
 	initWantEstimateReply = iota
 	initWantRoundReply
 	initWantVerifyReply
+	initWantHelloReply // fast path: msgHelloV1 sent, awaiting msgHelloReplyV1
 	initClosed
 )
+
+// fastSpecAccepted reports whether a responder should answer a speculative
+// round sized for specD when the piggybacked sketches put the true
+// estimate at dhat. Piecewise decodability makes an undersized round safe
+// — decoded groups land now, failed groups split 3-way in round 2 — but a
+// speculation the estimate dwarfs would converge slower than just
+// re-planning from d̂, which costs no extra round trip on the decline
+// path. The 2·d_spec+16 window is the region where round-2 splitting
+// still beats a restart. Both sides must apply this rule identically;
+// the initiator uses it only to predict (and test) responder behavior.
+func fastSpecAccepted(specD, dhat uint64) bool {
+	return dhat <= 2*specD+16
+}
 
 // NewInitiatorSession starts an initiator session for set and returns the
 // opening frames (the ToW estimate) to send to the responder. For repeated
@@ -139,6 +161,63 @@ func (ss *SharedSet) newInitiatorSession(opt Options, onDelta func(elems []uint6
 		estBytes: len(est),
 	}
 	return s, []Frame{{msgEstimate, est}}
+}
+
+// newFastInitiatorSession starts a single-RTT fast-path session: the
+// opening frame is one msgHelloV1 carrying the protocol version, the set
+// name (empty outside pbs-serve), the ToW sketches, and round 1 already
+// built under the plan for the speculative bound specD. A responder that
+// accepts the speculation answers estimate and round 1 (and, under
+// StrongVerify, the verification digest) in one reply frame; one that
+// declines re-plans from the true d̂, exactly like the legacy flow but
+// one round trip earlier. opt's constraints match newInitiatorSession.
+func (ss *SharedSet) newFastInitiatorSession(opt Options, onDelta func(elems []uint64, round int), name string, specD uint64) (*InitiatorSession, []Frame, error) {
+	if specD < 1 {
+		specD = 1
+	}
+	if max := opt.maxD(); specD > max {
+		specD = max
+	}
+	plan, err := syncPlan(specD, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	alice, err := core.NewAliceFromSnapshot(ss.snap, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	if onDelta != nil {
+		alice.OnVerifiedDelta(onDelta)
+	}
+	round1, err := alice.BuildRound()
+	if err != nil {
+		return nil, nil, err
+	}
+	if round1 == nil {
+		return nil, nil, fmt.Errorf("pbs: speculative plan produced no round")
+	}
+	est := encodeSketches(ss.towSketch())
+	hello := appendFastHello(nil, fastHello{
+		version:    fastProtoVersion,
+		wantDigest: opt.StrongVerify,
+		name:       name,
+		specD:      specD,
+		sketches:   est,
+		round1:     round1,
+	})
+	s := &InitiatorSession{
+		opt:     opt,
+		shared:  ss,
+		onDelta: onDelta,
+		state:   initWantHelloReply,
+		alice:   alice,
+		plan:    plan,
+		// The hello envelope (version, flags, name, d_spec, sketch) is
+		// estimator overhead; the round-1 bytes are round traffic.
+		estBytes:      len(hello) - len(round1),
+		aliceWireBits: len(round1) * 8,
+	}
+	return s, []Frame{{msgHelloV1, hello}}, nil
 }
 
 // Step advances the session with one frame received from the responder.
@@ -190,6 +269,61 @@ func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		s.bobWireBits += len(payload) * 8
 		return s.advance()
 
+	case initWantHelloReply:
+		if typ != msgHelloReplyV1 {
+			if typ == msgError {
+				// A legacy peer (or a rejecting server) answers the fast
+				// hello with msgError; surface the sentinel so callers can
+				// negotiate down to the multi-RTT flow.
+				return nil, false, fmt.Errorf("%w: %s", ErrFastSyncRejected, payload)
+			}
+			return nil, false, unexpectedType(msgHelloReplyV1, typ, payload)
+		}
+		rep, err := parseFastHelloReply(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if rep.version != fastProtoVersion {
+			return nil, false, fmt.Errorf("pbs: peer selected unsupported protocol version %d", rep.version)
+		}
+		if max := s.opt.maxD(); rep.dhat > max {
+			return nil, false, fmt.Errorf("pbs: peer estimate d̂ = %d exceeds limit %d", rep.dhat, max)
+		}
+		if rep.digest != nil {
+			theirs, ok := msethash.DigestFromBytes(rep.digest)
+			if !ok {
+				return nil, false, fmt.Errorf("pbs: malformed verification digest")
+			}
+			s.peerDigest, s.haveDigest = theirs, true
+		}
+		s.dhat = rep.dhat
+		s.estBytes += len(payload) - len(rep.roundReply)
+		if rep.answered {
+			if err := s.alice.AbsorbReply(rep.roundReply); err != nil {
+				return nil, false, err
+			}
+			s.rounds++
+			s.bobWireBits += len(rep.roundReply) * 8
+			return s.advance()
+		}
+		// Speculation declined: its payload stays on the books, then both
+		// sides re-plan deterministically from the true d̂ and continue
+		// with the classic round flow.
+		s.specBits = s.alice.PayloadBits()
+		plan, err := syncPlan(rep.dhat, s.opt)
+		if err != nil {
+			return nil, false, err
+		}
+		alice, err := core.NewAliceFromSnapshot(s.shared.snap, plan)
+		if err != nil {
+			return nil, false, err
+		}
+		if s.onDelta != nil {
+			alice.OnVerifiedDelta(s.onDelta)
+		}
+		s.plan, s.alice = plan, alice
+		return s.advance()
+
 	case initWantVerifyReply:
 		if typ != msgVerifyReply {
 			return nil, false, unexpectedType(msgVerifyReply, typ, payload)
@@ -238,11 +372,21 @@ func (s *InitiatorSession) finish() ([]Frame, bool, error) {
 		EstimatedD: estimator.ConservativeD(float64(s.dhat), s.opt.Gamma),
 		// The initiator only knows its own payload bits exactly; the
 		// peer's contribution is included in WireBytes.
-		PayloadBytes:   (s.alice.PayloadBits() + 7) / 8,
+		PayloadBytes:   (s.alice.PayloadBits() + s.specBits + 7) / 8,
 		WireBytes:      (s.aliceWireBits+s.bobWireBits)/8 + s.estBytes,
 		EstimatorBytes: s.estBytes,
 	}
 	if s.opt.StrongVerify && s.res.Complete {
+		if s.haveDigest {
+			// Fast path: the digest rode in on the hello reply, so the
+			// comparison is local and the msgVerify round trip vanishes.
+			s.state = initClosed
+			if s.expectedDigest() != s.peerDigest {
+				s.res = nil
+				return []Frame{{msgDone, nil}}, true, ErrVerificationFailed
+			}
+			return []Frame{{msgDone, nil}}, true, nil
+		}
 		s.state = initWantVerifyReply
 		return []Frame{{msgVerify, nil}}, false, nil
 	}
@@ -429,6 +573,67 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		}
 		s.bob = bob
 		return []Frame{{msgEstimateReply, binary.AppendUvarint(nil, dhat)}}, false, nil
+
+	case msgHelloV1:
+		if s.bob != nil {
+			return nil, false, fmt.Errorf("pbs: duplicate estimate in one session")
+		}
+		h, err := parseFastHello(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if h.version != fastProtoVersion {
+			// The resulting msgError is the negotiation signal: the
+			// initiator maps it to ErrFastSyncRejected and can retry with
+			// a protocol this responder speaks.
+			return nil, false, fmt.Errorf("pbs: unsupported fast protocol version %d", h.version)
+		}
+		theirs, err := decodeSketches(h.sketches)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(theirs) != s.opt.EstimatorSketches {
+			return nil, false, fmt.Errorf("pbs: peer sent %d sketches, want %d", len(theirs), s.opt.EstimatorSketches)
+		}
+		dhatF, err := s.shared.tow.Estimate(theirs, s.shared.towSketch())
+		if err != nil {
+			return nil, false, err
+		}
+		dhat, err := s.opt.boundEstimate(dhatF)
+		if err != nil {
+			return nil, false, err
+		}
+		// An over-limit d_spec never sizes a plan — decline instead, which
+		// also keeps a forged d_spec from buying the DoS allocation MaxD
+		// exists to prevent.
+		accepted := h.specD <= s.opt.maxD() && fastSpecAccepted(h.specD, dhat)
+		planD := dhat
+		if accepted {
+			planD = h.specD
+		}
+		plan, err := syncPlan(planD, s.opt)
+		if err != nil {
+			return nil, false, err
+		}
+		bob, err := core.NewBobFromSnapshot(s.shared.snap, plan)
+		if err != nil {
+			return nil, false, err
+		}
+		rep := fastHelloReply{version: fastProtoVersion, dhat: dhat}
+		if accepted {
+			reply, err := bob.HandleRound(h.round1)
+			if err != nil {
+				return nil, false, err
+			}
+			s.rounds++
+			rep.answered = true
+			rep.roundReply = reply
+		}
+		if h.wantDigest {
+			rep.digest = s.shared.verifyDigest().Bytes()
+		}
+		s.bob = bob
+		return []Frame{{msgHelloReplyV1, appendFastHelloReply(nil, rep)}}, false, nil
 
 	case msgRound:
 		if s.bob == nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pbs/internal/core"
@@ -35,6 +36,19 @@ type Set struct {
 	cfg setConfig
 	tow *estimator.ToW
 
+	// specPrior seeds the fast path's speculative difference bound: the
+	// size of the last difference a wire Sync learned, plus one (zero
+	// means no sync has completed yet). Churn between syncs is usually a
+	// fraction of the last delta, so the previous outcome is the best
+	// available predictor of the next.
+	specPrior atomic.Uint64
+	// specAvoid is the last speculative bound whose round failed to decode
+	// in one round trip. Whether a given plan decodes a given difference
+	// is a per-(plan, hash) draw, so on a quiet set the same speculation
+	// would replay the same failing plan sync after sync; remembering the
+	// loser and hopping to a nearby bound re-rolls the partition instead.
+	specAvoid atomic.Uint64
+
 	mu    sync.RWMutex
 	elems map[uint64]struct{}
 	// sketch is the incrementally maintained ToW sketch, built on the
@@ -50,9 +64,10 @@ type Set struct {
 // control. Options given to NewSet become the Set's defaults; options given
 // to Sync/Serve/Respond/Reconcile override them for that call only.
 type setConfig struct {
-	opt     Options
-	onDelta func(elems []uint64, round int)
-	setName string
+	opt      Options
+	onDelta  func(elems []uint64, round int)
+	setName  string
+	fastSync bool
 
 	maxSessions       int
 	idleTimeout       time.Duration
@@ -140,6 +155,18 @@ func WithParallelism(n int) Option { return func(c *setConfig) { c.opt.Paralleli
 func WithOnDelta(fn func(elems []uint64, round int)) Option {
 	return func(c *setConfig) { c.onDelta = fn }
 }
+
+// WithFastSync selects the single-RTT fast path for Sync: the opening
+// frame carries the protocol version, the set name, the estimator
+// sketches, and a speculative first round sized from WithKnownD, the
+// previous sync's outcome, or DefaultSpeculativeD — so a warm sync whose
+// speculation holds completes in one round trip instead of two-plus. A
+// responder that predates the fast path answers with msgError; Sync
+// surfaces that as ErrFastSyncRejected (wrapped), and the caller retries
+// over a fresh connection without this option (Client automates exactly
+// that). Off by default so existing deployments keep byte-identical
+// wire streams; Respond and Serve answer both flows regardless.
+func WithFastSync(on bool) Option { return func(c *setConfig) { c.fastSync = on } }
 
 // WithSetName names a registry entry. On Sync it selects the remote set to
 // reconcile against (sent as the session's opening hello frame; empty
@@ -399,17 +426,71 @@ func (s *Set) Sync(ctx context.Context, conn io.ReadWriter, opts ...Option) (*Re
 	if err != nil {
 		return nil, err
 	}
-	is, opening := ss.newInitiatorSession(cfg.opt, cfg.onDelta)
-	if cfg.setName != "" {
-		opening = append([]Frame{{msgHello, []byte(cfg.setName)}}, opening...)
+	var res *Result
+	if cfg.fastSync {
+		spec := s.speculativeD(cfg.opt)
+		is, opening, err := ss.newFastInitiatorSession(cfg.opt, cfg.onDelta, cfg.setName, spec)
+		if err != nil {
+			return nil, err
+		}
+		if res, err = runInitiator(ctx, conn, is, opening, cfg.idleTimeout); err != nil {
+			return nil, err
+		}
+		if res != nil && res.Complete && res.Rounds > 1 {
+			s.specAvoid.Store(spec)
+		}
+	} else {
+		is, opening := ss.newInitiatorSession(cfg.opt, cfg.onDelta)
+		if cfg.setName != "" {
+			opening = append([]Frame{{msgHello, []byte(cfg.setName)}}, opening...)
+		}
+		if res, err = runInitiator(ctx, conn, is, opening, cfg.idleTimeout); err != nil {
+			return nil, err
+		}
+		if res != nil && cfg.setName != "" {
+			// The hello envelope is this side's extra cost; fold it in so
+			// WireBytes stays reconcilable with the server's BytesIn.
+			res.WireBytes += 5 + len(cfg.setName)
+		}
 	}
-	res, err := runInitiator(ctx, conn, is, opening, cfg.idleTimeout)
-	if res != nil && cfg.setName != "" {
-		// The hello envelope is this side's extra cost; fold it in so
-		// WireBytes stays reconcilable with the server's BytesIn.
-		res.WireBytes += 5 + len(cfg.setName)
+	if res != nil && res.Complete {
+		// Remember the outcome to size the next fast sync's speculation.
+		s.specPrior.Store(uint64(len(res.Difference)) + 1)
 	}
-	return res, err
+	return res, nil
+}
+
+// DefaultSpeculativeD is the speculative difference bound a fast sync
+// opens with when neither WithKnownD nor a previous sync's outcome is
+// available to size it. At the default δ it buys a first round of a few
+// KiB — cheap enough to waste, large enough that most warm syncs finish
+// in it.
+const DefaultSpeculativeD = 128
+
+// speculativeD sizes the fast path's speculative first round: an
+// explicit WithKnownD wins, then the last wire sync's difference plus a
+// small headroom, then DefaultSpeculativeD for a cold handle. The prior
+// is an exact count (not a noisy estimate), and the plan derivation
+// multiplies by Gamma on top, so the headroom only has to absorb churn
+// between syncs — oversizing it inflates the BCH work on both sides of
+// every sync, which on a loopback link costs more than the round trip
+// the speculation exists to save.
+func (s *Set) speculativeD(opt Options) uint64 {
+	if opt.KnownD > 0 {
+		return uint64(opt.KnownD)
+	}
+	p := s.specPrior.Load()
+	if p == 0 {
+		return DefaultSpeculativeD
+	}
+	d := p - 1
+	spec := d + d/8 + 8
+	if bad := s.specAvoid.Load(); bad != 0 && spec == bad {
+		// This exact bound just cost an extra round; a nearby larger one
+		// derives a different plan and so a fresh partition draw.
+		spec = bad + bad/8 + 4
+	}
+	return spec
 }
 
 // Respond serves exactly one initiator session over conn — the peer-to-peer

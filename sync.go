@@ -46,6 +46,25 @@ import (
 // may open its connection with msgHello naming the server-side set to
 // reconcile against, and a Server reports a rejected or failed session
 // with a final msgError carrying a diagnostic string.
+//
+// Fast path (protocol version 1): the flow above costs two round trips
+// before the first difference element lands (estimate, then round 1).
+// A fast initiator instead opens with a single msgHelloV1 frame carrying
+// the protocol version, the set name, its ToW sketches, a speculative
+// difference bound d_spec, and round 1 already built under the plan
+// derived from d_spec. The responder computes the true d̂ from the
+// piggybacked sketches and answers with one msgHelloReplyV1 frame: d̂,
+// the round-1 reply when the speculation was adequately sized (PBS is
+// piecewise decodable, so an undersized speculative round degrades into
+// 3-way splits in round 2 instead of failing), and — when requested —
+// the strong-verification digest, so even StrongVerify sessions finish
+// in one round trip. When the responder declines the speculation
+// (d̂ far above d_spec), both sides deterministically re-plan from d̂ and
+// continue with the classic msgRound flow, which costs exactly what the
+// legacy negotiation would have. A legacy peer answers msgHelloV1 with
+// msgError; initiators surface that as ErrFastSyncRejected so callers
+// (Client does this automatically) can negotiate down to the multi-RTT
+// flow. The legacy flow itself is byte-identical to protocol version 0.
 
 const (
 	msgEstimate = iota + 1
@@ -55,9 +74,25 @@ const (
 	msgVerify
 	msgVerifyReply
 	msgDone
-	msgHello // client -> server: name of the shared set to sync against
-	msgError // server -> client: session rejected or failed, payload = text
+	msgHello        // client -> server: name of the shared set to sync against
+	msgError        // server -> client: session rejected or failed, payload = text
+	msgHelloV1      // fast initiator open: version + name + sketches + speculative round 1
+	msgHelloReplyV1 // fast responder answer: d̂ + optional round-1 reply + optional digest
 )
+
+// fastProtoVersion is the wire-protocol version this build negotiates in
+// msgHelloV1. A responder replies with the version it selected (currently
+// always 1); initiators reject a reply version they do not speak.
+const fastProtoVersion = 1
+
+// ErrFastSyncRejected marks a fast-path msgHelloV1 open that the peer
+// answered with msgError instead of msgHelloReplyV1 — the signature of a
+// legacy peer that only speaks the multi-RTT flow (or a server that
+// rejected the session outright). Callers that hold the dial (Client
+// does) retry once over a fresh connection with the legacy negotiation;
+// Set.Sync callers on a borrowed connection can do the same with
+// WithFastSync(false).
+var ErrFastSyncRejected = errors.New("pbs: peer rejected fast-path hello")
 
 // ErrVerificationFailed is returned by SyncInitiator when the strong
 // multiset-hash verification disagrees after the protocol reported
@@ -68,28 +103,91 @@ var ErrVerificationFailed = errors.New("pbs: strong verification failed")
 // allocations.
 const maxFrame = 64 << 20
 
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
+// frameCoalesceLimit is the largest frame batch that gets copied into one
+// contiguous buffer for a single Write. Beyond it, frames go out as a
+// net.Buffers vector — one writev on a real TCP connection — instead of
+// memcpy'ing megabytes.
+const frameCoalesceLimit = 256 << 10
+
+// appendFrame serializes one frame (length prefix, type, payload) onto dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = typ
-	if _, err := w.Write(hdr[:]); err != nil {
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// writeFrame emits one frame in a single Write: header and payload used to
+// go out as two conn.Write calls, which on a TCP connection meant two
+// segments (or a Nagle stall) per frame and dominated loopback sync
+// latency. Small frames are coalesced through a pooled buffer; large ones
+// go out as a gather write.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) <= frameCoalesceLimit {
+		buf := getPayloadBuf()
+		b := appendFrame((*buf)[:0], typ, payload)
+		_, err := w.Write(b)
+		*buf = b[:0]
+		putPayloadBuf(buf)
 		return err
 	}
-	if len(payload) == 0 {
-		return nil
-	}
-	_, err := w.Write(payload)
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
-// writeFrames sends every frame a session step produced, in order.
+// writeFrames sends every frame a session step produced, in order,
+// coalesced into one Write (one syscall, one TCP segment train) whenever
+// the batch fits frameCoalesceLimit, and into one gather write otherwise.
 func writeFrames(w io.Writer, frames []Frame) error {
+	switch len(frames) {
+	case 0:
+		return nil
+	case 1:
+		return writeFrame(w, frames[0].Type, frames[0].Payload)
+	}
+	total := 0
 	for _, f := range frames {
-		if err := writeFrame(w, f.Type, f.Payload); err != nil {
-			return err
+		total += 5 + len(f.Payload)
+	}
+	if total <= frameCoalesceLimit {
+		buf := getPayloadBuf()
+		b := (*buf)[:0]
+		for _, f := range frames {
+			b = appendFrame(b, f.Type, f.Payload)
+		}
+		_, err := w.Write(b)
+		*buf = b[:0]
+		putPayloadBuf(buf)
+		return err
+	}
+	hdrs := make([]byte, 5*len(frames))
+	bufs := make(net.Buffers, 0, 2*len(frames))
+	for i, f := range frames {
+		h := hdrs[5*i : 5*i+5]
+		binary.BigEndian.PutUint32(h[:4], uint32(len(f.Payload)))
+		h[4] = f.Type
+		bufs = append(bufs, h)
+		if len(f.Payload) > 0 {
+			bufs = append(bufs, f.Payload)
 		}
 	}
-	return nil
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// setNoDelay disables Nagle's algorithm on TCP connections. Go already
+// defaults TCP_NODELAY on, but the single-RTT fast path depends on it, so
+// every accept and dial sets it explicitly rather than trusting a default
+// that platform-specific dialers have been known to change.
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 }
 
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
@@ -166,8 +264,13 @@ const maxPooledBuf = 1 << 20
 
 func getPayloadBuf() *[]byte { return payloadPool.Get().(*[]byte) }
 
+// poolableBuf reports whether a payload buffer of capacity c may return
+// to payloadPool: a single near-maxFrame hostile frame must not pin tens
+// of megabytes in the pool forever.
+func poolableBuf(c int) bool { return c <= maxPooledBuf }
+
 func putPayloadBuf(b *[]byte) {
-	if cap(*b) <= maxPooledBuf {
+	if poolableBuf(cap(*b)) {
 		*b = (*b)[:0]
 		payloadPool.Put(b)
 	}
@@ -204,6 +307,161 @@ func decodeSketches(b []byte) ([]int64, error) {
 		return nil, fmt.Errorf("pbs: %d trailing bytes after sketches", len(b))
 	}
 	return ys, nil
+}
+
+// Fast-path payload layouts. Every variable-length field is
+// uvarint-length-prefixed except the round-1 message, which runs to the
+// end of the frame (it is last, and its own codec rejects trailing bytes).
+//
+//	msgHelloV1:      version | flags | len(name) name | d_spec |
+//	                 len(sketches) sketches | round-1 message
+//	msgHelloReplyV1: version | flags | d̂ | [len(digest) digest] |
+//	                 round-1 reply
+const (
+	fastHelloFlagWantDigest = 1 << 0 // initiator asks for the verify digest
+
+	fastReplyFlagAnswered = 1 << 0 // the speculative round was answered
+	fastReplyFlagDigest   = 1 << 1 // a verification digest is attached
+)
+
+// maxFastNameLen bounds the set name carried in a fast hello (the legacy
+// msgHello is implicitly bounded by the frame limit; here the name shares
+// the frame with the sketch and round payloads, so it gets its own cap).
+const maxFastNameLen = 1 << 10
+
+// fastHello is the decoded form of a msgHelloV1 payload. Byte-slice
+// fields alias the frame payload; Step consumes them before returning.
+type fastHello struct {
+	version    uint64
+	wantDigest bool
+	name       string
+	specD      uint64 // speculative difference bound the round was sized for
+	sketches   []byte // encodeSketches form
+	round1     []byte // Alice's round 1 built under plan(specD)
+}
+
+func appendFastHello(dst []byte, h fastHello) []byte {
+	dst = binary.AppendUvarint(dst, h.version)
+	var flags uint64
+	if h.wantDigest {
+		flags |= fastHelloFlagWantDigest
+	}
+	dst = binary.AppendUvarint(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(h.name)))
+	dst = append(dst, h.name...)
+	dst = binary.AppendUvarint(dst, h.specD)
+	dst = binary.AppendUvarint(dst, uint64(len(h.sketches)))
+	dst = append(dst, h.sketches...)
+	return append(dst, h.round1...)
+}
+
+// cutUvarint decodes one uvarint off the front of b.
+func cutUvarint(b []byte, what string) (uint64, []byte, error) {
+	v, k := binary.Uvarint(b)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("pbs: fast hello: truncated %s", what)
+	}
+	return v, b[k:], nil
+}
+
+// cutBytes decodes a uvarint-length-prefixed byte field off the front of
+// b, bounding the declared length by limit.
+func cutBytes(b []byte, limit uint64, what string) ([]byte, []byte, error) {
+	n, b, err := cutUvarint(b, what)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > limit || n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("pbs: fast hello: oversized %s", what)
+	}
+	return b[:n], b[n:], nil
+}
+
+func parseFastHello(b []byte) (h fastHello, err error) {
+	if h.version, b, err = cutUvarint(b, "version"); err != nil {
+		return fastHello{}, err
+	}
+	flags, b, err := cutUvarint(b, "flags")
+	if err != nil {
+		return fastHello{}, err
+	}
+	h.wantDigest = flags&fastHelloFlagWantDigest != 0
+	name, b, err := cutBytes(b, maxFastNameLen, "set name")
+	if err != nil {
+		return fastHello{}, err
+	}
+	h.name = string(name)
+	if h.specD, b, err = cutUvarint(b, "d_spec"); err != nil {
+		return fastHello{}, err
+	}
+	if h.sketches, b, err = cutBytes(b, uint64(len(b)), "sketches"); err != nil {
+		return fastHello{}, err
+	}
+	h.round1 = b
+	return h, nil
+}
+
+// fastHelloSetName extracts just the set name from a msgHelloV1 payload —
+// the Server admits a connection to a registered set before handing the
+// frame to the session engine, exactly as it does for a legacy msgHello.
+func fastHelloSetName(b []byte) (string, error) {
+	h, err := parseFastHello(b)
+	if err != nil {
+		return "", err
+	}
+	return h.name, nil
+}
+
+// fastHelloReply is the decoded form of a msgHelloReplyV1 payload.
+type fastHelloReply struct {
+	version    uint64
+	answered   bool
+	dhat       uint64 // true estimate from the piggybacked sketches
+	digest     []byte // nil, or the strong-verification digest
+	roundReply []byte // Bob's round-1 reply when answered
+}
+
+func appendFastHelloReply(dst []byte, r fastHelloReply) []byte {
+	dst = binary.AppendUvarint(dst, r.version)
+	var flags uint64
+	if r.answered {
+		flags |= fastReplyFlagAnswered
+	}
+	if r.digest != nil {
+		flags |= fastReplyFlagDigest
+	}
+	dst = binary.AppendUvarint(dst, flags)
+	dst = binary.AppendUvarint(dst, r.dhat)
+	if r.digest != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(r.digest)))
+		dst = append(dst, r.digest...)
+	}
+	return append(dst, r.roundReply...)
+}
+
+func parseFastHelloReply(b []byte) (r fastHelloReply, err error) {
+	if r.version, b, err = cutUvarint(b, "reply version"); err != nil {
+		return fastHelloReply{}, err
+	}
+	flags, b, err := cutUvarint(b, "reply flags")
+	if err != nil {
+		return fastHelloReply{}, err
+	}
+	r.answered = flags&fastReplyFlagAnswered != 0
+	if r.dhat, b, err = cutUvarint(b, "d̂"); err != nil {
+		return fastHelloReply{}, err
+	}
+	if flags&fastReplyFlagDigest != 0 {
+		if r.digest, b, err = cutBytes(b, 64, "digest"); err != nil {
+			return fastHelloReply{}, err
+		}
+	}
+	if r.answered {
+		r.roundReply = b
+	} else if len(b) != 0 {
+		return fastHelloReply{}, fmt.Errorf("pbs: fast hello: %d trailing bytes after declined reply", len(b))
+	}
+	return r, nil
 }
 
 // syncPlan derives the shared plan from the agreed d̂ — both sides must
