@@ -51,6 +51,13 @@ type Client struct {
 	// legacy flow once — so leaving this false is safe against old
 	// servers, at the cost of one wasted dial the first time.
 	LegacySync bool
+	// Retry, when set, retries retryable sync failures (dial errors,
+	// mid-round disconnects, stalls, server-busy shedding) under the
+	// policy: exponential backoff with full jitter, honoring any
+	// retry-after hint the server sent. Retry.Dial defaults to the
+	// client's own dialer. The fast-path downgrade negotiation composes
+	// with it — each protocol leg gets its own attempt budget.
+	Retry *RetryPolicy
 }
 
 // Sync dials the server and learns local △ remote for the configured
@@ -82,15 +89,23 @@ func (c *Client) SyncContext(ctx context.Context, local []uint64) (*Result, erro
 		idle = DefaultClientIdleTimeout
 	}
 	syncOnce := func(fast bool) (*Result, error) {
+		opts := []Option{WithIdleTimeout(idle), WithFastSync(fast)}
+		if c.Set != "" {
+			opts = append(opts, WithSetName(c.Set))
+		}
+		if c.Retry != nil {
+			pol := *c.Retry
+			if pol.Dial == nil {
+				pol.Dial = c.dial
+			}
+			// Sync dials (and closes) every attempt's connection itself.
+			return set.Sync(ctx, nil, append(opts, WithRetry(pol))...)
+		}
 		conn, err := c.dial(ctx)
 		if err != nil {
 			return nil, err
 		}
 		defer conn.Close()
-		opts := []Option{WithIdleTimeout(idle), WithFastSync(fast)}
-		if c.Set != "" {
-			opts = append(opts, WithSetName(c.Set))
-		}
 		return set.Sync(ctx, conn, opts...)
 	}
 	res, err := syncOnce(!c.LegacySync)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"pbs"
+	"pbs/internal/chaos"
 	"pbs/internal/load"
 )
 
@@ -55,6 +56,10 @@ func main() {
 		verify     = flag.Bool("verify", false, "check every learned difference against the tracked ground truth")
 		legacySync = flag.Bool("legacy-sync", false, "use the multi-RTT protocol-0 flow instead of the single-RTT fast path")
 
+		chaosSpec = flag.String("chaos", "", "inject connection faults, e.g. 'drop=0.02,stall=0.05,stall-ms=300,seed=7' (keys: drop, reset, corrupt, stall, stall-ms, latency-ms, jitter-ms, bw, chunk, seed)")
+		retry     = flag.Bool("retry", false, "sync under a retry policy (redial per attempt, exponential backoff, retry-after hints honored)")
+		attempts  = flag.Int("retry-attempts", 0, "retry attempt budget per sync (0 = library default)")
+
 		seed         = flag.Uint64("seed", 42, "shared protocol hash seed (server -seed)")
 		maxD         = flag.Int("max-d", 0, "cap on the accepted difference estimate d̂ (0 = library default)")
 		strongVerify = flag.Bool("strong-verify", false, "request the strong multiset-hash verification")
@@ -66,6 +71,12 @@ func main() {
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "pbs-loadgen: -addr is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	chaosCfg, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbs-loadgen:", err)
 		os.Exit(2)
 	}
 
@@ -84,6 +95,9 @@ func main() {
 		SyncTimeout:    *timeout,
 		Verify:         *verify,
 		LegacySync:     *legacySync,
+		Chaos:          chaosCfg,
+		Retry:          *retry,
+		RetryAttempts:  *attempts,
 		Options:        &pbs.Options{Seed: *seed, MaxD: *maxD, StrongVerify: *strongVerify},
 	}
 
@@ -115,6 +129,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pbs-loadgen:", err)
 		os.Exit(1)
+	}
+	if rep.Chaos || cfg.Retry {
+		// Under fault injection, per-sync errors are expected casualties;
+		// the pass criterion is the post-run convergence check.
+		if rep.Unreconciled > 0 {
+			fmt.Fprintf(os.Stderr, "pbs-loadgen: %d workers unreconciled after the run (first: %s)\n",
+				rep.Unreconciled, rep.FirstError)
+			os.Exit(1)
+		}
+		return
 	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "pbs-loadgen: %d syncs failed (first: %s)\n", rep.Errors, rep.FirstError)

@@ -63,11 +63,13 @@ func main() {
 		strongVerify = flag.Bool("strong-verify", false, "client: request the strong multiset-hash verification")
 		legacySync   = flag.Bool("legacy-sync", false, "client: use the multi-RTT protocol-0 flow instead of the single-RTT fast path")
 
-		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap (0 = default, <0 = uncapped)")
-		idle        = flag.Duration("idle-timeout", 0, "per-frame idle deadline (0 = default, <0 = disabled)")
-		byteBudget  = flag.Int64("byte-budget", 0, "per-session wire byte budget (0 = default, <0 = uncapped)")
-		maxRounds   = flag.Int("max-rounds", 0, "per-session round budget (0 = default, <0 = uncapped)")
-		drain       = flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight sessions")
+		maxSessions  = flag.Int("max-sessions", 0, "concurrent session cap (0 = default, <0 = uncapped)")
+		softSessions = flag.Int("soft-sessions", 0, "soft admission watermark: shed new connections above this before the hard cap (0 = default headroom, <0 = disabled)")
+		retryAfter   = flag.Duration("retry-after", 0, "base retry-after hint on busy rejections (0 = default, <0 = no hint)")
+		idle         = flag.Duration("idle-timeout", 0, "per-frame idle deadline (0 = default, <0 = disabled)")
+		byteBudget   = flag.Int64("byte-budget", 0, "per-session wire byte budget (0 = default, <0 = uncapped)")
+		maxRounds    = flag.Int("max-rounds", 0, "per-session round budget (0 = default, <0 = uncapped)")
+		drain        = flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight sessions")
 	)
 	flag.Parse()
 
@@ -91,11 +93,13 @@ func main() {
 		fatal(err)
 	}
 	srv := pbs.NewServer(pbs.ServerOptions{
-		Protocol:          opt,
-		MaxSessions:       *maxSessions,
-		IdleTimeout:       *idle,
-		SessionByteBudget: *byteBudget,
-		SessionMaxRounds:  *maxRounds,
+		Protocol:             opt,
+		MaxSessions:          *maxSessions,
+		SoftSessionWatermark: *softSessions,
+		RetryAfterHint:       *retryAfter,
+		IdleTimeout:          *idle,
+		SessionByteBudget:    *byteBudget,
+		SessionMaxRounds:     *maxRounds,
 	})
 	if err := srv.RegisterSet(*setName, set); err != nil {
 		fatal(err)

@@ -1,0 +1,188 @@
+package pbs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"syscall"
+	"time"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Structured error codes carried in msgError payloads. The code travels as
+// a backward-compatible suffix on the human-readable message (see
+// appendErrCode), so legacy peers still see a plain string.
+const (
+	// ErrCodeBusy marks a shed-load rejection: the server is over its
+	// session capacity or admission watermark. Busy errors are retryable
+	// and may carry a retry-after hint.
+	ErrCodeBusy = "busy"
+	// ErrCodeRejected marks a protocol-level rejection (validation
+	// failure, budget exhaustion, malformed frames). Not retryable.
+	ErrCodeRejected = "rejected"
+)
+
+// ErrServerBusy is reported (via errors.Is) when the peer shed the
+// connection for load reasons and a later retry may succeed.
+var ErrServerBusy = errors.New("pbs: server busy")
+
+const (
+	// maxPeerErrLen bounds how much of a peer-supplied error message is
+	// embedded in client-side errors. Anything longer is truncated.
+	maxPeerErrLen = 256
+	// maxRetryAfter clamps peer-supplied retry-after hints.
+	maxRetryAfter = 5 * time.Minute
+	// maxErrCodeLen bounds the code token in a structured suffix.
+	maxErrCodeLen = 16
+)
+
+// PeerError is an error reported by the remote peer over msgError. Msg is
+// sanitized (length-capped, non-printables stripped); Code and RetryAfter
+// are parsed from the structured suffix when present and zero otherwise.
+type PeerError struct {
+	Code       string
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *PeerError) Error() string { return "pbs: peer error: " + e.Msg }
+
+// Is makes errors.Is(err, ErrServerBusy) match busy-coded peer errors.
+func (e *PeerError) Is(target error) bool {
+	return target == ErrServerBusy && e.Code == ErrCodeBusy
+}
+
+// appendErrCode encodes a structured code (and optional retry-after hint)
+// as a suffix on a msgError string: "msg [pbs:e=busy,ra=250ms]". Legacy
+// peers embed the whole string verbatim; current peers strip and parse it.
+func appendErrCode(msg, code string, retryAfter time.Duration) string {
+	if code == "" {
+		return msg
+	}
+	var sb strings.Builder
+	sb.WriteString(msg)
+	sb.WriteString(" [pbs:e=")
+	sb.WriteString(code)
+	if retryAfter > 0 {
+		sb.WriteString(",ra=")
+		sb.WriteString(retryAfter.String())
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+func validErrCode(code string) bool {
+	if code == "" || len(code) > maxErrCodeLen {
+		return false
+	}
+	for i := 0; i < len(code); i++ {
+		c := code[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// splitErrCode parses the structured suffix off a msgError string. It
+// returns the bare message plus the code and retry-after hint; a missing
+// or malformed suffix yields the input unchanged with an empty code.
+func splitErrCode(s string) (msg, code string, retryAfter time.Duration) {
+	i := strings.LastIndex(s, " [pbs:e=")
+	if i < 0 || !strings.HasSuffix(s, "]") {
+		return s, "", 0
+	}
+	body := s[i+len(" [pbs:e=") : len(s)-1]
+	c, rest, hasRA := strings.Cut(body, ",")
+	if !validErrCode(c) {
+		return s, "", 0
+	}
+	var ra time.Duration
+	if hasRA {
+		v, ok := strings.CutPrefix(rest, "ra=")
+		if !ok {
+			return s, "", 0
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return s, "", 0
+		}
+		ra = min(d, maxRetryAfter)
+	}
+	return s[:i], c, ra
+}
+
+// sanitizeErrMsg bounds a peer-supplied error string and replaces
+// non-printable or invalid-UTF-8 bytes so hostile responders cannot bloat
+// or mangle client logs.
+func sanitizeErrMsg(s string) string {
+	const truncMark = "... (truncated)"
+	truncated := false
+	if len(s) > maxPeerErrLen {
+		s = s[:maxPeerErrLen]
+		truncated = true
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + len(truncMark))
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if (r == utf8.RuneError && size == 1) || !unicode.IsPrint(r) {
+			sb.WriteByte('?')
+		} else {
+			sb.WriteRune(r)
+		}
+		i += size
+	}
+	if truncated {
+		sb.WriteString(truncMark)
+	}
+	return sb.String()
+}
+
+// parsePeerErrPayload turns a raw msgError payload into a *PeerError with
+// a sanitized message and any structured code/retry-after hint decoded.
+func parsePeerErrPayload(payload []byte) *PeerError {
+	msg, code, ra := splitErrCode(string(payload))
+	return &PeerError{Code: code, RetryAfter: ra, Msg: sanitizeErrMsg(msg)}
+}
+
+// Retryable classifies an error from Set.Sync or Client.Sync: it reports
+// whether a fresh attempt over a new connection could plausibly succeed.
+// Transport-level failures (dial errors, resets, mid-round disconnects,
+// stall timeouts) and busy-coded peer rejections are retryable; protocol
+// rejections, verification failures, budget exhaustion, and context
+// cancellation are not.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrServerBusy) {
+		return true
+	}
+	if errors.Is(err, ErrVerificationFailed) || errors.Is(err, ErrFastSyncRejected) {
+		return false
+	}
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return pe.Code == ErrCodeBusy
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"pbs"
+	"pbs/internal/chaos"
+)
+
+// TestChaosSoakConverges is the in-process chaos soak: a fleet syncing
+// through fault-injected connections (mid-frame drops, corruption,
+// resets, stalls) under a retry policy must leave every worker fully
+// reconciled — per-sync failures are expected casualties, unreconciled
+// state is not. A second identical run must inject the identical fault
+// stream (the determinism contract that makes chaos failures replayable).
+func TestChaosSoakConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	opt := &pbs.Options{Seed: 7}
+	cfg := Config{
+		Workers:        8,
+		SyncsPerWorker: 6,
+		SetSize:        1200,
+		DiffSize:       25,
+		Churn:          5,
+		Seed:           11,
+		Verify:         true,
+		Retry:          true,
+		RetryAttempts:  6,
+		SyncTimeout:    20 * time.Second,
+		Options:        opt,
+		Chaos: chaos.Config{
+			Seed:        3,
+			DropProb:    0.03,
+			CorruptProb: 0.02,
+			ResetProb:   0.02,
+			StallProb:   0.03,
+			Stall:       50 * time.Millisecond,
+		},
+	}
+	_, addr := startServer(t, cfg, pbs.ServerOptions{Protocol: opt})
+	cfg.Addr = addr
+
+	run := func() *Report {
+		t.Helper()
+		rep, err := Run(t.Context(), cfg)
+		if rep == nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !rep.Chaos {
+			t.Fatal("report does not flag the chaos run")
+		}
+		if rep.Unreconciled != 0 {
+			t.Fatalf("%d workers unreconciled after the soak: %v (%d faults, %d retries)",
+				rep.Unreconciled, rep.FirstError, rep.Faults, rep.Retries)
+		}
+		return rep
+	}
+	first := run()
+	if first.Faults == 0 {
+		t.Fatal("soak injected no faults — fault rates too low to exercise anything")
+	}
+	second := run()
+	if second.Faults != first.Faults {
+		t.Fatalf("fault stream not reproducible: %d then %d faults from the same seeds",
+			first.Faults, second.Faults)
+	}
+}
+
+// TestBusySheddingSoakConverges drives more reconnecting workers than the
+// server admits: the watermark and hard cap shed the excess with busy
+// hints, the retry policy honors them, and everyone still converges.
+func TestBusySheddingSoakConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	opt := &pbs.Options{Seed: 13}
+	cfg := Config{
+		Workers:        8,
+		SyncsPerWorker: 4,
+		SetSize:        1200,
+		DiffSize:       25,
+		Seed:           17,
+		Verify:         true,
+		Reconnect:      true,
+		Retry:          true,
+		RetryAttempts:  8,
+		SyncTimeout:    20 * time.Second,
+		Options:        opt,
+	}
+	srv, addr := startServer(t, cfg, pbs.ServerOptions{
+		Protocol:             opt,
+		MaxSessions:          4,
+		SoftSessionWatermark: 3,
+		RetryAfterHint:       20 * time.Millisecond,
+	})
+	cfg.Addr = addr
+
+	rep, err := Run(t.Context(), cfg)
+	if rep == nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Unreconciled != 0 {
+		t.Fatalf("%d workers unreconciled under shedding: %v", rep.Unreconciled, rep.FirstError)
+	}
+	if st := srv.Stats(); st.Rejected == 0 {
+		t.Fatalf("overloaded server shed nothing: %+v", st)
+	}
+}

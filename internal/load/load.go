@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pbs"
+	"pbs/internal/chaos"
 	"pbs/internal/hist"
 	"pbs/internal/workload"
 )
@@ -80,6 +81,22 @@ type Config struct {
 	// multi-RTT protocol-0 flow (the pre-fast-path baseline shape).
 	LegacySync bool
 
+	// Chaos, when enabled, wraps every client connection in the seeded
+	// fault injector: drops, resets, corruption, stalls, latency, and
+	// bandwidth shaping per chaos.Config. Per-connection seeds derive
+	// deterministically from Chaos.Seed, the worker id, and the worker's
+	// dial count, so a run's fault pattern is reproducible. Chaos.OnFault
+	// is overridden by the run's own fault counter.
+	Chaos chaos.Config
+	// Retry syncs under a pbs.RetryPolicy (redial per attempt, exponential
+	// backoff, retry-after hints honored) — the resilient-client shape a
+	// chaos run measures. Sync errors then mean the retry budget was
+	// exhausted, not a single connection failure.
+	Retry bool
+	// RetryAttempts overrides the retry policy's attempt budget
+	// (0 = the pbs default).
+	RetryAttempts int
+
 	// Options is the protocol configuration; it must match the server's.
 	Options *pbs.Options
 }
@@ -113,6 +130,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("load: diff %d exceeds set size %d", c.DiffSize, c.SetSize)
 	case c.Rate < 0:
 		return fmt.Errorf("load: negative rate")
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -149,6 +169,16 @@ type Report struct {
 	Rounds       int64          `json:"rounds"`
 	DiffElements int64          `json:"diff_elements"`
 	LatencyUS    LatencySummary `json:"latency_us"`
+
+	// Chaos-run outcome. Faults counts injected connection faults,
+	// Retries the retry attempts the fleet spent recovering from them,
+	// and Unreconciled the workers whose final fault-free convergence
+	// check failed — the number that must be zero for a chaos soak to
+	// pass (per-sync Errors are expected casualties under injection).
+	Chaos        bool  `json:"chaos"`
+	Faults       int64 `json:"faults_injected"`
+	Retries      int64 `json:"retries"`
+	Unreconciled int64 `json:"unreconciled"`
 
 	// FirstError samples the first failure for diagnostics ("" when clean).
 	FirstError string `json:"first_error,omitempty"`
@@ -187,10 +217,33 @@ type worker struct {
 	parked []uint64 // currently-removed churn elements
 	expect map[uint64]struct{}
 
-	syncs  atomic.Int64
-	errs   atomic.Int64
-	rounds atomic.Int64
-	diffs  atomic.Int64
+	dials uint64 // connections opened, keys the per-conn chaos seed
+
+	syncs   atomic.Int64
+	errs    atomic.Int64
+	rounds  atomic.Int64
+	diffs   atomic.Int64
+	retries atomic.Int64
+	faults  atomic.Int64
+}
+
+// dialConn opens one connection for the worker, wrapping it in the byte
+// counter and, when configured, the chaos injector with a per-connection
+// deterministic identity.
+func (w *worker) dialConn(ctx context.Context, bytesR, bytesW *atomic.Int64) (net.Conn, error) {
+	conn, err := dial(ctx, w.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	w.dials++
+	var wrapped net.Conn = countingConn{Conn: conn, r: bytesR, w: bytesW}
+	if w.cfg.Chaos.Enabled() {
+		id := uint64(w.id)*1_000_003 + w.dials
+		ccfg := w.cfg.Chaos
+		ccfg.OnFault = func(chaos.Event) { w.faults.Add(1) }
+		wrapped = chaos.Wrap(wrapped, ccfg, id)
+	}
+	return wrapped, nil
 }
 
 // Run executes one load run and aggregates the fleet's measurements. It
@@ -332,6 +385,28 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// After a fault-injected (or retrying) run, prove convergence: every
+	// worker must reconcile exactly against ground truth over a clean,
+	// fault-free connection. This is the chaos soak's pass criterion —
+	// per-sync errors under injection are expected casualties, but a
+	// worker that cannot reach the correct difference once the faults
+	// stop means data was lost.
+	var unreconciled atomic.Int64
+	if cfg.Verify && (cfg.Chaos.Enabled() || cfg.Retry) {
+		var cwg sync.WaitGroup
+		for _, w := range workers {
+			cwg.Add(1)
+			go func(w *worker) {
+				defer cwg.Done()
+				if err := w.converge(ctx, &bytesR, &bytesW); err != nil {
+					unreconciled.Add(1)
+					recordErr(fmt.Errorf("worker %d unreconciled: %w", w.id, err))
+				}
+			}(w)
+		}
+		cwg.Wait()
+	}
+
 	rep := &Report{
 		Workers:   cfg.Workers,
 		SetSize:   cfg.SetSize,
@@ -345,11 +420,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		BytesRead:    bytesR.Load(),
 		BytesWritten: bytesW.Load(),
 	}
+	rep.Chaos = cfg.Chaos.Enabled()
+	rep.Unreconciled = unreconciled.Load()
 	for _, w := range workers {
 		rep.Syncs += w.syncs.Load()
 		rep.Errors += w.errs.Load()
 		rep.Rounds += w.rounds.Load()
 		rep.DiffElements += w.diffs.Load()
+		rep.Retries += w.retries.Load()
+		rep.Faults += w.faults.Load()
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		rep.SyncsPerSec = float64(rep.Syncs) / sec
@@ -387,31 +466,49 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // server failing.
 func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, bytesW *atomic.Int64) error {
 	cfg := w.cfg
-	reused := w.conn != nil && !cfg.Reconnect
-	if w.conn == nil || cfg.Reconnect {
-		w.closeConn()
-		conn, err := dial(ctx, cfg.Addr)
-		if err != nil {
-			return err
-		}
-		w.conn = countingConn{Conn: conn, r: bytesR, w: bytesW}
-	}
 	syncCtx, cancel := context.WithTimeout(ctx, cfg.SyncTimeout)
 	defer cancel()
 	opts := []pbs.Option{pbs.WithFastSync(!cfg.LegacySync)}
 	if cfg.SetName != "" {
 		opts = append(opts, pbs.WithSetName(cfg.SetName))
 	}
+	if cfg.Retry {
+		// Resilient-client mode: Sync owns the connection lifecycle,
+		// dialing (and closing) each attempt through the policy's hook.
+		w.closeConn()
+		pol := pbs.RetryPolicy{
+			MaxAttempts: cfg.RetryAttempts,
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				return w.dialConn(ctx, bytesR, bytesW)
+			},
+			OnRetry: func(int, error, time.Duration) { w.retries.Add(1) },
+		}
+		start := time.Now()
+		res, err := w.set.Sync(syncCtx, nil, append(opts, pbs.WithRetry(pol))...)
+		if err != nil {
+			return err
+		}
+		return w.finish(res, time.Since(start), latency)
+	}
+	reused := w.conn != nil && !cfg.Reconnect
+	if w.conn == nil || cfg.Reconnect {
+		w.closeConn()
+		conn, err := w.dialConn(ctx, bytesR, bytesW)
+		if err != nil {
+			return err
+		}
+		w.conn = conn
+	}
 	start := time.Now()
 	res, err := w.set.Sync(syncCtx, w.conn, opts...)
 	elapsed := time.Since(start)
 	if err != nil && reused && ctx.Err() == nil {
 		w.closeConn()
-		conn, derr := dial(syncCtx, cfg.Addr)
+		conn, derr := w.dialConn(syncCtx, bytesR, bytesW)
 		if derr != nil {
 			return err // report the sync failure, not the retry dial
 		}
-		w.conn = countingConn{Conn: conn, r: bytesR, w: bytesW}
+		w.conn = conn
 		start = time.Now()
 		res, err = w.set.Sync(syncCtx, w.conn, opts...)
 		elapsed = time.Since(start)
@@ -419,10 +516,16 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 	if err != nil {
 		return err
 	}
+	return w.finish(res, elapsed, latency)
+}
+
+// finish applies the post-sync bookkeeping shared by both connection
+// modes: completion check, ground-truth verification, and measurement.
+func (w *worker) finish(res *pbs.Result, elapsed time.Duration, latency *hist.Histogram) error {
 	if !res.Complete {
 		return fmt.Errorf("incomplete after %d rounds", res.Rounds)
 	}
-	if cfg.Verify {
+	if w.cfg.Verify {
 		if err := w.verify(res.Difference); err != nil {
 			return err
 		}
@@ -432,6 +535,37 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 	w.rounds.Add(int64(res.Rounds))
 	w.diffs.Add(int64(len(res.Difference)))
 	return nil
+}
+
+// converge runs one fault-free, retried reconciliation against ground
+// truth — the post-chaos convergence proof. The worker's connection (which
+// may carry a chaos wrapper) is discarded; the attempts dial clean.
+func (w *worker) converge(ctx context.Context, bytesR, bytesW *atomic.Int64) error {
+	w.closeConn()
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.SyncTimeout)
+	defer cancel()
+	opts := []pbs.Option{pbs.WithFastSync(!w.cfg.LegacySync)}
+	if w.cfg.SetName != "" {
+		opts = append(opts, pbs.WithSetName(w.cfg.SetName))
+	}
+	pol := pbs.RetryPolicy{
+		MaxAttempts: 6,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			conn, err := dial(ctx, w.cfg.Addr)
+			if err != nil {
+				return nil, err
+			}
+			return countingConn{Conn: conn, r: bytesR, w: bytesW}, nil
+		},
+	}
+	res, err := w.set.Sync(ctx, nil, append(opts, pbs.WithRetry(pol))...)
+	if err != nil {
+		return err
+	}
+	if !res.Complete {
+		return fmt.Errorf("incomplete after %d rounds", res.Rounds)
+	}
+	return w.verify(res.Difference)
 }
 
 // churn toggles Churn elements through the incremental Add/Remove path:
@@ -550,11 +684,16 @@ func (r *Report) String() string {
 	if r.Reconnect {
 		conn = "reconnect"
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%d workers (%s, %s), |A|=%d d=%d churn=%d: %d syncs (%d errors) in %.2fs = %.1f syncs/s, %.2f MB/s; latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
 		r.Workers, mode, conn, r.SetSize, r.DiffSize, r.Churn,
 		r.Syncs, r.Errors, r.DurationSec, r.SyncsPerSec,
 		r.BytesPerSec/1e6,
 		r.LatencyUS.P50/1e3, r.LatencyUS.P95/1e3, r.LatencyUS.P99/1e3,
 		float64(r.LatencyUS.Max)/1e3)
+	if r.Chaos || r.Retries > 0 || r.Unreconciled > 0 {
+		s += fmt.Sprintf("; chaos: %d faults injected, %d retries, %d unreconciled",
+			r.Faults, r.Retries, r.Unreconciled)
+	}
+	return s
 }

@@ -152,3 +152,9 @@ grep -Eq 'done: [1-9][0-9]* completed, 0 failed, 0 rejected' "$log" || {
   exit 1
 }
 echo "pbs-loadgen smoke OK ($workers concurrent sessions)"
+
+# Phase 3: chaos smoke — a short fault-injected run (own server
+# instances, so the clean-drain grep above is unaffected) proves the
+# retrying fleet converges through mid-frame disconnects and mixed
+# faults. The nightly soak runs the full scenario matrix for longer.
+scripts/chaos_soak.sh 20 5s drop mixed

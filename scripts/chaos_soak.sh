@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# chaos_soak.sh — drive pbs-serve through fault-injected connections and
+# require full convergence anyway.
+#
+# Usage:
+#   scripts/chaos_soak.sh [workers] [duration] [scenario...]
+#
+# Defaults: 20 workers for 5s over every scenario. Scenarios:
+#   drop     mid-frame disconnects
+#   stall    frames frozen for 300ms
+#   reset    immediate connection resets
+#   corrupt  single-byte payload corruption
+#   mixed    all of the above at lower rates
+#   busy     no wire faults; an undersized server sheds the fleet with
+#            busy hints instead (-reconnect so every sync re-admits)
+#
+# Each scenario gets its own pbs-serve instance and a reconnecting,
+# retrying fleet (-chaos injects client-side faults; -retry redials with
+# backoff and honors the server's retry-after hints). The pass criterion
+# is the loadgen's post-run convergence check: per-sync failures are
+# expected casualties, but every worker must end fully reconciled
+# (unreconciled == 0). A markdown row per scenario goes to stdout and,
+# when set, to $GITHUB_STEP_SUMMARY.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workers="${1:-20}"
+duration="${2:-5s}"
+shift $(( $# > 2 ? 2 : $# )) || true
+scenarios=("$@")
+if [ ${#scenarios[@]} -eq 0 ]; then
+  scenarios=(drop stall reset corrupt mixed busy)
+fi
+
+size=2000
+diff=20
+tmp="$(mktemp -d)"
+srv=""
+cleanup() {
+  if [ -n "$srv" ] && kill -0 "$srv" 2>/dev/null; then
+    kill -TERM "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pbs-serve" ./cmd/pbs-serve
+go build -o "$tmp/pbs-loadgen" ./cmd/pbs-loadgen
+
+spec_for() {
+  case "$1" in
+    drop)    echo "drop=0.02,seed=7" ;;
+    stall)   echo "stall=0.05,stall-ms=300,seed=7" ;;
+    reset)   echo "reset=0.02,seed=7" ;;
+    corrupt) echo "corrupt=0.02,seed=7" ;;
+    mixed)   echo "drop=0.01,reset=0.01,corrupt=0.01,stall=0.02,stall-ms=200,seed=7" ;;
+    busy)    echo "" ;;
+    *)       echo "unknown scenario: $1" >&2; return 1 ;;
+  esac
+}
+
+rows="$tmp/rows.md"
+{
+  echo "| scenario | syncs | errors | faults | retries | unreconciled |"
+  echo "|---|---|---|---|---|---|"
+} >"$rows"
+
+for scenario in "${scenarios[@]}"; do
+  spec="$(spec_for "$scenario")"
+
+  serve_args=(-addr 127.0.0.1:0 -demo-size "$size" -demo-d "$diff" -demo-seed 1)
+  load_args=(-workers "$workers" -duration "$duration"
+             -size "$size" -diff "$diff" -workload-seed 1
+             -retry -verify -json "$tmp/$scenario.json")
+  if [ "$scenario" = busy ]; then
+    # The overload scenario: fewer admitted sessions than workers, an
+    # aggressive watermark, and a short hint the retry policy must honor.
+    serve_args+=(-max-sessions $((workers / 2)) -soft-sessions $((workers / 4)) -retry-after 20ms)
+    load_args+=(-reconnect -retry-attempts 10)
+  else
+    serve_args+=(-max-sessions $((workers * 2)))
+    load_args+=(-chaos "$spec" -reconnect)
+  fi
+
+  log="$tmp/$scenario.serve.log"
+  "$tmp/pbs-serve" "${serve_args[@]}" >"$log" 2>&1 &
+  srv=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/.*serving .* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    cat "$log" >&2
+    echo "pbs-serve did not start for scenario $scenario" >&2
+    exit 1
+  fi
+
+  echo "=== chaos scenario: $scenario (spec: ${spec:-server overload}) ==="
+  "$tmp/pbs-loadgen" -addr "$addr" "${load_args[@]}"
+
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmp/$scenario.json" "$scenario" >>"$rows" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["unreconciled"] == 0, \
+    f"{rep['unreconciled']} unreconciled: {rep.get('first_error','')}"
+assert rep["syncs"] > 0, "no syncs completed"
+print(f"| {sys.argv[2]} | {rep['syncs']} | {rep['errors']} "
+      f"| {rep['faults_injected']} | {rep['retries']} | {rep['unreconciled']} |")
+EOF
+  else
+    grep -q '"unreconciled": 0' "$tmp/$scenario.json" || {
+      echo "scenario $scenario left workers unreconciled" >&2
+      exit 1
+    }
+    echo "| $scenario | - | - | - | - | 0 |" >>"$rows"
+  fi
+
+  kill -TERM "$srv"
+  wait "$srv" || { cat "$log" >&2; exit 1; }
+  srv=""
+  tail -n 1 "$log"
+done
+
+echo
+cat "$rows"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "### Chaos soak ($workers workers, $duration per scenario)"
+    echo
+    cat "$rows"
+  } >>"$GITHUB_STEP_SUMMARY"
+fi
+echo "chaos soak OK (${scenarios[*]})"

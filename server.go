@@ -49,6 +49,10 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	closed    bool
+	// drainCh is closed (once) when the server starts closing, so accept
+	// backoff sleeps and similar waits unblock immediately on Close or
+	// Shutdown instead of riding out their timers.
+	drainCh chan struct{}
 
 	// connCount gauges accepted connections (including ones still before
 	// their first frame) and backs the MaxSessions capacity check;
@@ -62,6 +66,7 @@ type Server struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	rejected  atomic.Int64
+	shed      atomic.Int64
 	bytesIn   atomic.Int64
 	bytesOut  atomic.Int64
 	rounds    atomic.Int64
@@ -85,6 +90,9 @@ const (
 	DefaultIdleTimeout       = 30 * time.Second
 	DefaultSessionByteBudget = 16 * maxFrame             // 1 GiB of frames per session
 	DefaultSessionMaxRounds  = 2 * core.DefaultMaxRounds // headroom over the engine's own cap
+	// DefaultRetryAfterHint is the base retry-after hint attached to
+	// busy-coded rejections when ServerOptions.RetryAfterHint is zero.
+	DefaultRetryAfterHint = 250 * time.Millisecond
 )
 
 // ServerOptions configures a Server. The zero value serves with the
@@ -112,6 +120,18 @@ type ServerOptions struct {
 	// SessionMaxRounds caps the msgRound frames answered in one session.
 	// 0 selects DefaultSessionMaxRounds; negative removes the cap.
 	SessionMaxRounds int
+	// SoftSessionWatermark sheds new connections (busy-coded msgError with
+	// a retry-after hint) before the hard MaxSessions cap is reached,
+	// keeping headroom for the sequential session reuse of already-warm
+	// connections while the server is saturated. 0 selects a default of
+	// MaxSessions minus 1/8 headroom when MaxSessions >= 16 (disabled for
+	// smaller caps); negative disables the watermark.
+	SoftSessionWatermark int
+	// RetryAfterHint is the base retry-after duration attached to
+	// busy-coded rejections (watermark sheds and shutdown drains; the hard
+	// capacity cap hints twice this). 0 selects DefaultRetryAfterHint;
+	// negative omits the hint.
+	RetryAfterHint time.Duration
 }
 
 func (o ServerOptions) maxSessions() int64 {
@@ -142,6 +162,32 @@ func (o ServerOptions) sessionMaxRounds() int {
 	return o.SessionMaxRounds
 }
 
+func (o ServerOptions) softWatermark() int64 {
+	switch {
+	case o.SoftSessionWatermark > 0:
+		return int64(o.SoftSessionWatermark)
+	case o.SoftSessionWatermark < 0:
+		return 0
+	}
+	max := o.maxSessions()
+	if max < 16 {
+		// Tiny caps have no headroom worth reserving; shedding below
+		// them would only reject traffic the hard cap still admits.
+		return 0
+	}
+	return max - max/8
+}
+
+func (o ServerOptions) retryAfterHint() time.Duration {
+	switch {
+	case o.RetryAfterHint > 0:
+		return o.RetryAfterHint
+	case o.RetryAfterHint < 0:
+		return 0
+	}
+	return DefaultRetryAfterHint
+}
+
 // ServerStats is a point-in-time snapshot of a Server's counters, fit for
 // an expvar.Func or a metrics endpoint.
 type ServerStats struct {
@@ -150,6 +196,7 @@ type ServerStats struct {
 	Completed int64 // sessions ended by the initiator's msgDone (a connection may complete several in sequence)
 	Failed    int64 // sessions ended by an error, limit, or disconnect
 	Rejected  int64 // connections turned away at the capacity check or during shutdown
+	Shed      int64 // subset of Rejected turned away by the soft admission watermark
 	BytesIn   int64 // wire bytes read across all sessions
 	BytesOut  int64 // wire bytes written across all sessions
 	Rounds    int64 // protocol rounds answered in completed sessions
@@ -216,6 +263,7 @@ func NewServer(opt ServerOptions) *Server {
 		sets:      make(map[string]setSource),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+		drainCh:   make(chan struct{}),
 	}
 }
 
@@ -337,11 +385,15 @@ func (s *Server) admit(conn net.Conn, name string) *ResponderSession {
 	sess, reason, shuttingDown := s.startSession(name)
 	if sess == nil {
 		if shuttingDown {
+			// A draining server is a transient condition: tell the client
+			// to come back (elsewhere) rather than treat it as a protocol
+			// failure.
 			s.rejected.Add(1)
+			s.sendCodedError(conn, reason, ErrCodeBusy, s.opt.retryAfterHint())
 		} else {
 			s.failed.Add(1)
+			s.sendError(conn, reason)
 		}
-		s.sendError(conn, reason)
 	}
 	return sess
 }
@@ -354,6 +406,7 @@ func (s *Server) Stats() ServerStats {
 		Completed:     s.completed.Load(),
 		Failed:        s.failed.Load(),
 		Rejected:      s.rejected.Load(),
+		Shed:          s.shed.Load(),
 		BytesIn:       s.bytesIn.Load(),
 		BytesOut:      s.bytesOut.Load(),
 		Rounds:        s.rounds.Load(),
@@ -401,8 +454,14 @@ func (s *Server) Serve(ln net.Listener) error {
 				} else if backoff *= 2; backoff > time.Second {
 					backoff = time.Second
 				}
-				time.Sleep(backoff)
-				continue
+				// Wake immediately on Close/Shutdown: a plain Sleep here
+				// would pin them for up to the full backoff.
+				select {
+				case <-time.After(backoff):
+					continue
+				case <-s.drainCh:
+					return nil
+				}
 			}
 			return err
 		}
@@ -420,11 +479,20 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// markClosed flips the server into its closing state and signals drainCh.
+// The caller must hold s.mu.
+func (s *Server) markClosed() {
+	if !s.closed {
+		s.closed = true
+		close(s.drainCh)
+	}
+}
+
 // Close stops accepting and tears down every open connection immediately.
 // For a drain-first stop, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	s.closed = true
+	s.markClosed()
 	for ln := range s.listeners {
 		ln.Close()
 	}
@@ -444,7 +512,7 @@ func (s *Server) Close() error {
 // whether the drain completed before the deadline.
 func (s *Server) Shutdown(timeout time.Duration) bool {
 	s.mu.Lock()
-	s.closed = true
+	s.markClosed()
 	for ln := range s.listeners {
 		ln.Close()
 	}
@@ -466,11 +534,20 @@ func (s *Server) Shutdown(timeout time.Duration) bool {
 // it, so the write side is half-closed and the inbound leftovers drained
 // briefly first.
 func (s *Server) sendError(conn net.Conn, msg string) {
+	s.sendCodedError(conn, msg, ErrCodeRejected, 0)
+}
+
+// sendCodedError is sendError with a structured code and optional
+// retry-after hint appended as the backward-compatible msgError suffix:
+// current clients decode it into a *PeerError, legacy clients see (and
+// log) the suffix as part of the plain string.
+func (s *Server) sendCodedError(conn net.Conn, msg, code string, retryAfter time.Duration) {
+	payload := appendErrCode(msg, code, retryAfter)
 	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-	if err := writeFrame(conn, msgError, []byte(msg)); err != nil {
+	if err := writeFrame(conn, msgError, []byte(payload)); err != nil {
 		return
 	}
-	s.bytesOut.Add(int64(5 + len(msg)))
+	s.bytesOut.Add(int64(5 + len(payload)))
 	if cw, ok := conn.(interface{ CloseWrite() error }); ok {
 		cw.CloseWrite()
 	}
@@ -496,8 +573,19 @@ func (s *Server) handle(conn net.Conn) {
 	cur := s.connCount.Add(1)
 	defer s.connCount.Add(-1)
 	if max := s.opt.maxSessions(); max > 0 && cur > max {
+		// Hard exhaustion: hint a longer retry-after than a watermark shed
+		// so the backed-off herd does not return while still saturated.
 		s.rejected.Add(1)
-		s.sendError(conn, "server at session capacity")
+		s.sendCodedError(conn, "server at session capacity", ErrCodeBusy, 2*s.opt.retryAfterHint())
+		return
+	}
+	if soft := s.opt.softWatermark(); soft > 0 && cur > soft {
+		// Soft admission watermark: shed new connections before the hard
+		// cap so warm connections (which reuse their slot for session
+		// after session) keep the remaining headroom.
+		s.rejected.Add(1)
+		s.shed.Add(1)
+		s.sendCodedError(conn, "server over session watermark, retry later", ErrCodeBusy, s.opt.retryAfterHint())
 		return
 	}
 	s.accepted.Add(1)

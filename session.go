@@ -42,10 +42,11 @@ const (
 )
 
 // unexpectedType reports a frame of the wrong type, surfacing a peer's
-// msgError diagnostic verbatim when that is what arrived instead.
+// msgError diagnostic (sanitized, with any structured code decoded) when
+// that is what arrived instead.
 func unexpectedType(want, got byte, payload []byte) error {
 	if got == msgError {
-		return fmt.Errorf("pbs: peer error: %s", payload)
+		return parsePeerErrPayload(payload)
 	}
 	return fmt.Errorf("pbs: expected message type %d, got %d", want, got)
 }
@@ -272,10 +273,17 @@ func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done boo
 	case initWantHelloReply:
 		if typ != msgHelloReplyV1 {
 			if typ == msgError {
+				pe := parsePeerErrPayload(payload)
+				if pe.Code == ErrCodeBusy {
+					// Shed load, not a protocol mismatch: surface the busy
+					// error directly so callers retry instead of pointlessly
+					// downgrading to the legacy flow.
+					return nil, false, pe
+				}
 				// A legacy peer (or a rejecting server) answers the fast
 				// hello with msgError; surface the sentinel so callers can
 				// negotiate down to the multi-RTT flow.
-				return nil, false, fmt.Errorf("%w: %s", ErrFastSyncRejected, payload)
+				return nil, false, fmt.Errorf("%w: %s", ErrFastSyncRejected, pe.Msg)
 			}
 			return nil, false, unexpectedType(msgHelloReplyV1, typ, payload)
 		}
@@ -654,7 +662,7 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		return nil, true, nil
 
 	case msgError:
-		return nil, false, fmt.Errorf("pbs: peer error: %s", payload)
+		return nil, false, parsePeerErrPayload(payload)
 
 	default:
 		return nil, false, fmt.Errorf("pbs: unexpected message type %d", typ)

@@ -2,6 +2,7 @@ package pbs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -73,6 +74,8 @@ type setConfig struct {
 	idleTimeout       time.Duration
 	sessionByteBudget int64
 	sessionMaxRounds  int
+
+	retry *RetryPolicy
 }
 
 // Option configures a Set or a single reconciliation call. Structural
@@ -200,6 +203,18 @@ func WithSessionByteBudget(n int64) Option {
 // (ServerOptions.SessionMaxRounds semantics).
 func WithSessionMaxRounds(n int) Option {
 	return func(c *setConfig) { c.sessionMaxRounds = n }
+}
+
+// WithRetry makes Sync retry retryable failures (see Retryable for the
+// taxonomy) under p: exponential backoff with full jitter between
+// attempts, honoring any retry-after hint from a shed-load server. With a
+// policy set, Sync accepts a nil conn and dials every attempt through
+// p.Dial; when a caller-provided conn's first attempt fails, Sync closes
+// it (the stream state is unknown) and re-dials. Retried attempts reuse
+// the d̂ prior learned before the failure, so a resumed fast sync usually
+// completes in a single round trip.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *setConfig) { c.retry = &p }
 }
 
 // sigMaskFor returns the valid-element mask for a signature width.
@@ -422,6 +437,24 @@ func (s *Set) Sync(ctx context.Context, conn io.ReadWriter, opts ...Option) (*Re
 	if err != nil {
 		return nil, err
 	}
+	if cfg.retry == nil {
+		if conn == nil {
+			return nil, errors.New("pbs: Sync needs a connection (or a WithRetry policy with a Dial hook)")
+		}
+		return s.syncAttempt(ctx, conn, &cfg)
+	}
+	nc, _ := conn.(net.Conn)
+	if conn != nil && nc == nil {
+		// Retrying needs Close; a bare io.ReadWriter can only run once.
+		return s.syncAttempt(ctx, conn, &cfg)
+	}
+	return s.syncRetry(ctx, nc, &cfg)
+}
+
+// syncAttempt runs one sync exchange over conn. The shared snapshot is
+// re-resolved per attempt, so a retry picks up any set churn since the
+// failed try.
+func (s *Set) syncAttempt(ctx context.Context, conn io.ReadWriter, cfg *setConfig) (*Result, error) {
 	ss, err := s.sharedView()
 	if err != nil {
 		return nil, err
@@ -434,6 +467,12 @@ func (s *Set) Sync(ctx context.Context, conn io.ReadWriter, opts ...Option) (*Re
 			return nil, err
 		}
 		if res, err = runInitiator(ctx, conn, is, opening, cfg.idleTimeout); err != nil {
+			// Even a failed session may have learned the peer's d̂; seed
+			// the speculation prior with it so a retry sizes its first
+			// round right and usually completes in one round trip.
+			if d := is.dhat; d > 0 {
+				s.specPrior.Store(d + 1)
+			}
 			return nil, err
 		}
 		if res != nil && res.Complete && res.Rounds > 1 {
@@ -445,6 +484,9 @@ func (s *Set) Sync(ctx context.Context, conn io.ReadWriter, opts ...Option) (*Re
 			opening = append([]Frame{{msgHello, []byte(cfg.setName)}}, opening...)
 		}
 		if res, err = runInitiator(ctx, conn, is, opening, cfg.idleTimeout); err != nil {
+			if d := is.dhat; d > 0 {
+				s.specPrior.Store(d + 1)
+			}
 			return nil, err
 		}
 		if res != nil && cfg.setName != "" {
