@@ -18,7 +18,10 @@
 // -reconnect dials a fresh connection per sync instead. -churn N toggles
 // N elements through the Set's incremental Add/Remove path between syncs.
 // -verify checks every learned difference against the tracked ground
-// truth and counts mismatches as errors.
+// truth and counts mismatches as errors. -mux N multiplexes every N
+// workers' syncs as concurrent streams over one shared connection
+// (protocol version 2), so 500 workers with -mux 32 hold only 16 sockets;
+// -compress additionally offers lz frame compression during negotiation.
 package main
 
 import (
@@ -52,6 +55,8 @@ func main() {
 
 		rate       = flag.Float64("rate", 0, "open-loop target syncs/s across the fleet (0 = closed loop)")
 		reconnect  = flag.Bool("reconnect", false, "dial a fresh connection per sync instead of holding warm connections")
+		mux        = flag.Int("mux", 0, "multiplex N workers' syncs as concurrent streams over each shared connection (0/1 = one connection per worker)")
+		compress   = flag.Bool("compress", false, "offer lz frame compression during mux negotiation (requires -mux)")
 		timeout    = flag.Duration("sync-timeout", 30*time.Second, "per-sync deadline")
 		verify     = flag.Bool("verify", false, "check every learned difference against the tracked ground truth")
 		legacySync = flag.Bool("legacy-sync", false, "use the multi-RTT protocol-0 flow instead of the single-RTT fast path")
@@ -92,6 +97,8 @@ func main() {
 		Seed:           *wseed,
 		Rate:           *rate,
 		Reconnect:      *reconnect,
+		MuxStreams:     *mux,
+		Compress:       *compress,
 		SyncTimeout:    *timeout,
 		Verify:         *verify,
 		LegacySync:     *legacySync,

@@ -69,6 +69,7 @@ func main() {
 		idle         = flag.Duration("idle-timeout", 0, "per-frame idle deadline (0 = default, <0 = disabled)")
 		byteBudget   = flag.Int64("byte-budget", 0, "per-session wire byte budget (0 = default, <0 = uncapped)")
 		maxRounds    = flag.Int("max-rounds", 0, "per-session round budget (0 = default, <0 = uncapped)")
+		maxStreams   = flag.Int("max-streams", 0, "per-connection mux stream cap (0 = default, <0 = decline mux negotiation)")
 		drain        = flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight sessions")
 	)
 	flag.Parse()
@@ -100,6 +101,7 @@ func main() {
 		IdleTimeout:          *idle,
 		SessionByteBudget:    *byteBudget,
 		SessionMaxRounds:     *maxRounds,
+		MaxStreams:           *maxStreams,
 	})
 	if err := srv.RegisterSet(*setName, set); err != nil {
 		fatal(err)

@@ -67,6 +67,15 @@ type Config struct {
 	// Rate is the open-loop target arrival rate in syncs/s across all
 	// workers; 0 selects closed-loop (every worker syncs back to back).
 	Rate float64
+	// MuxStreams, when > 1, shares dialed connections N-ways: workers are
+	// partitioned into groups of MuxStreams, each group multiplexes its
+	// syncs as concurrent streams over one negotiated connection, and a
+	// run of W workers holds only ceil(W/MuxStreams) sockets. Requires a
+	// server that grants multiplexing (protocol version 2).
+	MuxStreams int
+	// Compress offers lz frame compression during mux negotiation (only
+	// meaningful with MuxStreams > 1; the server may decline).
+	Compress bool
 	// Reconnect dials a fresh connection for every sync (the cold-client
 	// shape). Default false: each worker holds one warm connection and the
 	// server carries its sessions in sequence.
@@ -130,6 +139,14 @@ func (c Config) validate() error {
 		return fmt.Errorf("load: diff %d exceeds set size %d", c.DiffSize, c.SetSize)
 	case c.Rate < 0:
 		return fmt.Errorf("load: negative rate")
+	case c.MuxStreams < 0:
+		return fmt.Errorf("load: negative mux streams")
+	case c.MuxStreams > 1 && c.Reconnect:
+		return fmt.Errorf("load: mux shares warm connections; -reconnect contradicts it")
+	case c.MuxStreams > 1 && c.LegacySync:
+		return fmt.Errorf("load: mux negotiation requires the fast-path sync")
+	case c.Compress && c.MuxStreams <= 1:
+		return fmt.Errorf("load: compression is negotiated per mux connection; set MuxStreams > 1")
 	}
 	if err := c.Chaos.Validate(); err != nil {
 		return err
@@ -151,13 +168,15 @@ type LatencySummary struct {
 // Report is the machine-readable outcome of a run (the BENCH_load.json
 // payload).
 type Report struct {
-	Workers   int     `json:"workers"`
-	SetSize   int     `json:"set_size"`
-	DiffSize  int     `json:"diff_size"`
-	Churn     int     `json:"churn"`
-	Rate      float64 `json:"rate_target"` // 0 = closed loop
-	Reconnect bool    `json:"reconnect"`
-	FastSync  bool    `json:"fast_sync"` // single-RTT fast path in use
+	Workers    int     `json:"workers"`
+	SetSize    int     `json:"set_size"`
+	DiffSize   int     `json:"diff_size"`
+	Churn      int     `json:"churn"`
+	Rate       float64 `json:"rate_target"` // 0 = closed loop
+	Reconnect  bool    `json:"reconnect"`
+	FastSync   bool    `json:"fast_sync"`             // single-RTT fast path in use
+	MuxStreams int     `json:"mux_streams,omitempty"` // streams per shared connection (0 = unmuxed)
+	MuxConns   int     `json:"mux_conns,omitempty"`   // shared connections the muxed fleet rides
 
 	DurationSec  float64        `json:"duration_sec"`
 	Syncs        int64          `json:"syncs"`
@@ -204,14 +223,77 @@ func (c countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// muxGroup is one shared, lazily dialed multiplexed connection carrying
+// the syncs of MuxStreams workers as concurrent streams.
+type muxGroup struct {
+	mu sync.Mutex
+	mc *pbs.MuxConn
+}
+
+// stream returns a fresh stream on the group's shared connection, dialing
+// it on first use or after a drop. The MuxConn is resolved under the lock
+// but Stream blocks outside it — every stream past the first waits on the
+// negotiating sync's hello reply, and holding the lock there would
+// serialize the whole group behind one round trip.
+func (g *muxGroup) stream(ctx context.Context, w *worker, bytesR, bytesW *atomic.Int64) (*pbs.MuxStream, *pbs.MuxConn, error) {
+	for attempt := 0; ; attempt++ {
+		g.mu.Lock()
+		mc := g.mc
+		if mc == nil {
+			conn, err := w.dialConn(ctx, bytesR, bytesW)
+			if err != nil {
+				g.mu.Unlock()
+				return nil, nil, err
+			}
+			mc = pbs.NewMuxConn(conn, pbs.WithMuxCompression(w.cfg.Compress))
+			g.mc = mc
+		}
+		g.mu.Unlock()
+		st, err := mc.Stream()
+		if err == nil {
+			return st, mc, nil
+		}
+		// A dead or exhausted connection gets replaced once; a second
+		// failure (or a peer that declined mux outright) is the caller's
+		// error to count.
+		g.drop(mc)
+		if attempt > 0 || errors.Is(err, pbs.ErrMuxDeclined) {
+			return nil, nil, err
+		}
+	}
+}
+
+// drop discards the group's connection after a failure so the next stream
+// redials. Only the current connection is dropped — a sibling worker may
+// already have replaced it.
+func (g *muxGroup) drop(mc *pbs.MuxConn) {
+	g.mu.Lock()
+	if g.mc == mc {
+		g.mc = nil
+	}
+	g.mu.Unlock()
+	mc.Close()
+}
+
+func (g *muxGroup) close() {
+	g.mu.Lock()
+	mc := g.mc
+	g.mc = nil
+	g.mu.Unlock()
+	if mc != nil {
+		mc.Close()
+	}
+}
+
 // worker is one concurrent client: a warm Set, its churn state, and its
 // (possibly persistent) connection.
 type worker struct {
-	id   int
-	cfg  *Config
-	set  *pbs.Set
-	rng  *rand.Rand
-	conn net.Conn
+	id    int
+	cfg   *Config
+	set   *pbs.Set
+	rng   *rand.Rand
+	conn  net.Conn
+	group *muxGroup // non-nil in mux mode: the shared connection pool slot
 
 	elems  []uint64 // mutable mirror of the owned elements, for sampling
 	parked []uint64 // currently-removed churn elements
@@ -262,6 +344,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	var groups []*muxGroup
+	if cfg.MuxStreams > 1 {
+		groups = make([]*muxGroup, (cfg.Workers+cfg.MuxStreams-1)/cfg.MuxStreams)
+		for i := range groups {
+			groups[i] = &muxGroup{}
+		}
+		defer func() {
+			for _, g := range groups {
+				g.close()
+			}
+		}()
+	}
+
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
 		set, err := pbs.NewSet(pair.A, baseOption(cfg.Options))
@@ -274,6 +369,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			set:   set,
 			rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(i)*0x9E3779B97F4A7C15))),
 			elems: append([]uint64(nil), pair.A...),
+		}
+		if groups != nil {
+			w.group = groups[i/cfg.MuxStreams]
 		}
 		if cfg.Verify {
 			w.expect = make(map[uint64]struct{}, len(pair.Diff))
@@ -420,6 +518,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		BytesRead:    bytesR.Load(),
 		BytesWritten: bytesW.Load(),
 	}
+	if cfg.MuxStreams > 1 {
+		rep.MuxStreams = cfg.MuxStreams
+		rep.MuxConns = len(groups)
+	}
 	rep.Chaos = cfg.Chaos.Enabled()
 	rep.Unreconciled = unreconciled.Load()
 	for _, w := range workers {
@@ -472,6 +574,9 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 	if cfg.SetName != "" {
 		opts = append(opts, pbs.WithSetName(cfg.SetName))
 	}
+	if w.group != nil {
+		return w.syncMux(ctx, syncCtx, opts, latency, bytesR, bytesW)
+	}
 	if cfg.Retry {
 		// Resilient-client mode: Sync owns the connection lifecycle,
 		// dialing (and closing) each attempt through the policy's hook.
@@ -517,6 +622,43 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 		return err
 	}
 	return w.finish(res, elapsed, latency)
+}
+
+// syncMux runs one reconciliation as a stream on the worker's shared
+// group connection. Each sync takes a fresh single-use stream; a failed
+// sync drops the whole group connection (its framing can no longer be
+// trusted) and the group's next stream redials. Under Retry, the policy's
+// Dial hands out streams instead of sockets, so attempts are retried
+// without re-dialing while the connection itself stays healthy.
+func (w *worker) syncMux(ctx, syncCtx context.Context, opts []pbs.Option, latency *hist.Histogram, bytesR, bytesW *atomic.Int64) error {
+	if w.cfg.Retry {
+		pol := pbs.RetryPolicy{
+			MaxAttempts: w.cfg.RetryAttempts,
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				st, _, err := w.group.stream(ctx, w, bytesR, bytesW)
+				return st, err
+			},
+			OnRetry: func(int, error, time.Duration) { w.retries.Add(1) },
+		}
+		start := time.Now()
+		res, err := w.set.Sync(syncCtx, nil, append(opts, pbs.WithRetry(pol))...)
+		if err != nil {
+			return err
+		}
+		return w.finish(res, time.Since(start), latency)
+	}
+	st, mc, err := w.group.stream(ctx, w, bytesR, bytesW)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := w.set.Sync(syncCtx, st, opts...)
+	st.Close()
+	if err != nil {
+		w.group.drop(mc)
+		return err
+	}
+	return w.finish(res, time.Since(start), latency)
 }
 
 // finish applies the post-sync bookkeeping shared by both connection
@@ -683,6 +825,9 @@ func (r *Report) String() string {
 	conn := "warm conns"
 	if r.Reconnect {
 		conn = "reconnect"
+	}
+	if r.MuxStreams > 1 {
+		conn = fmt.Sprintf("mux %d streams/conn over %d conns", r.MuxStreams, r.MuxConns)
 	}
 	s := fmt.Sprintf(
 		"%d workers (%s, %s), |A|=%d d=%d churn=%d: %d syncs (%d errors) in %.2fs = %.1f syncs/s, %.2f MB/s; latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",

@@ -208,6 +208,59 @@ func TestRunOpenLoopRate(t *testing.T) {
 	}
 }
 
+// TestRunMuxMode covers the shared-connection shape: MuxStreams workers
+// multiplex their syncs over each dialed socket, and the client-observed
+// wire bytes must still reconcile exactly with the server's counters —
+// the envelope overhead is on the wire, so both sides count it alike.
+func TestRunMuxMode(t *testing.T) {
+	opt := &pbs.Options{Seed: 21}
+	cfg := Config{
+		Workers:        16,
+		SyncsPerWorker: 4,
+		SetSize:        1000,
+		DiffSize:       20,
+		Churn:          5,
+		Seed:           9,
+		MuxStreams:     4,
+		Verify:         true,
+		Options:        opt,
+	}
+	srv, addr := startServer(t, cfg, pbs.ServerOptions{Protocol: opt})
+	cfg.Addr = addr
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v (first error: %s)", err, rep.FirstError)
+	}
+	want := int64(cfg.Workers * cfg.SyncsPerWorker)
+	if rep.Syncs != want || rep.Errors != 0 {
+		t.Fatalf("syncs=%d errors=%d (first: %s), want %d/0", rep.Syncs, rep.Errors, rep.FirstError, want)
+	}
+	if rep.MuxStreams != cfg.MuxStreams || rep.MuxConns != cfg.Workers/cfg.MuxStreams {
+		t.Fatalf("report mux shape %d/%d, want %d streams over %d conns",
+			rep.MuxStreams, rep.MuxConns, cfg.MuxStreams, cfg.Workers/cfg.MuxStreams)
+	}
+
+	st := waitStats(t, srv, want)
+	if st.Completed != want || st.Failed != 0 || st.Rejected != 0 {
+		t.Fatalf("server completed=%d failed=%d rejected=%d, want %d/0/0",
+			st.Completed, st.Failed, st.Rejected, want)
+	}
+	if st.StreamsTotal != want {
+		t.Fatalf("server StreamsTotal %d, want %d (one stream per sync)", st.StreamsTotal, want)
+	}
+	if st.Accepted != int64(cfg.Workers/cfg.MuxStreams) {
+		t.Fatalf("server accepted %d connections, want %d (one socket per group)",
+			st.Accepted, cfg.Workers/cfg.MuxStreams)
+	}
+	if st.BytesIn != rep.BytesWritten {
+		t.Fatalf("server BytesIn %d != client bytes written %d", st.BytesIn, rep.BytesWritten)
+	}
+	if st.BytesOut != rep.BytesRead {
+		t.Fatalf("server BytesOut %d != client bytes read %d", st.BytesOut, rep.BytesRead)
+	}
+}
+
 // TestRunBadAddress must fail loudly, not hang or report an empty success.
 func TestRunBadAddress(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

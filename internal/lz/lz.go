@@ -1,0 +1,168 @@
+// Package lz implements the byte-oriented LZ77 codec behind the wire
+// protocol's negotiated frame compression. It is deliberately small: a
+// greedy snappy-style matcher over a 4-byte hash table, a varint-framed
+// literal/copy stream, and a strictly bounds-checked decoder — no external
+// dependencies, deterministic output, and a decoder that can never read or
+// write outside the buffers it is given.
+//
+// Encoded layout:
+//
+//	uvarint(decodedLen) op*
+//
+// where each op starts with a control uvarint v:
+//
+//	v even: a literal run of v>>1 bytes (>= 1) follows verbatim
+//	v odd:  a copy of length v>>1 (>= MinMatch) from uvarint(offset)
+//	        bytes back in the decoded output (1 <= offset <= decoded so far)
+//
+// Copies may overlap their own output (offset < length), which encodes
+// runs; the decoder resolves them byte by byte.
+package lz
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MinMatch is the shortest copy the encoder emits (and the decoder
+// accepts). Below it a copy costs more than the literal bytes it replaces.
+const MinMatch = 4
+
+const (
+	hashBits = 14
+	hashLen  = 1 << hashBits
+	// hashMul is the Knuth multiplicative constant; only the top hashBits
+	// of the product are kept.
+	hashMul = 0x9E3779B1
+)
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+func hash4(v uint32) uint32 {
+	return (v * hashMul) >> (32 - hashBits)
+}
+
+// Compress appends the encoded form of src to dst and returns the result,
+// or nil when the encoding would not be strictly smaller than src (the
+// caller then sends src uncompressed). An empty or near-incompressible
+// input therefore costs one cheap encoding pass and no wire overhead.
+func Compress(dst, src []byte) []byte {
+	if len(src) < 16 {
+		return nil
+	}
+	base := len(dst)
+	limit := base + len(src) // exceed this and the encoding already lost
+	out := binary.AppendUvarint(dst, uint64(len(src)))
+
+	// table maps hash4 of a 4-byte sequence to position+1 (0 = empty), so
+	// the zero value needs no initialization sentinel pass.
+	var table [hashLen]int32
+
+	litStart := 0
+	i := 0
+	for i+MinMatch <= len(src) && len(out) < limit {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || load32(src, cand) != load32(src, i) {
+			i++
+			continue
+		}
+		length := MinMatch
+		for i+length < len(src) && src[cand+length] == src[i+length] {
+			length++
+		}
+		if lit := src[litStart:i]; len(lit) > 0 {
+			out = binary.AppendUvarint(out, uint64(len(lit))<<1)
+			out = append(out, lit...)
+		}
+		out = binary.AppendUvarint(out, uint64(length)<<1|1)
+		out = binary.AppendUvarint(out, uint64(i-cand))
+		// Seed the table across the matched region sparsely (every other
+		// position) — enough to catch the next occurrence without paying a
+		// full hashing pass over bytes already encoded.
+		for j := i + 2; j+MinMatch <= len(src) && j < i+length; j += 2 {
+			table[hash4(load32(src, j))] = int32(j + 1)
+		}
+		i += length
+		litStart = i
+	}
+	if lit := src[litStart:]; len(lit) > 0 {
+		out = binary.AppendUvarint(out, uint64(len(lit))<<1)
+		out = append(out, lit...)
+	}
+	if len(out) >= limit {
+		return nil
+	}
+	return out
+}
+
+// Decode appends the decoded form of src to dst and returns the result.
+// limit bounds the declared decoded length — the allocation guard against
+// a hostile peer claiming a huge expansion. Every offset and length is
+// validated; a malformed input returns an error, never a panic or an
+// out-of-bounds access.
+func Decode(dst, src []byte, limit int) ([]byte, error) {
+	rawLen, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, fmt.Errorf("lz: truncated length header")
+	}
+	if limit >= 0 && rawLen > uint64(limit) {
+		return nil, fmt.Errorf("lz: declared length %d exceeds limit %d", rawLen, limit)
+	}
+	src = src[k:]
+	base := len(dst)
+	want := base + int(rawLen)
+	if cap(dst) < want {
+		grown := make([]byte, base, want)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst
+	for len(src) > 0 {
+		v, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, fmt.Errorf("lz: truncated op")
+		}
+		src = src[k:]
+		if v&1 == 0 {
+			n := v >> 1
+			if n == 0 {
+				return nil, fmt.Errorf("lz: empty literal run")
+			}
+			if n > uint64(len(src)) || uint64(len(out)-base)+n > rawLen {
+				return nil, fmt.Errorf("lz: literal run overflows")
+			}
+			out = append(out, src[:n]...)
+			src = src[n:]
+			continue
+		}
+		length := v >> 1
+		if length < MinMatch {
+			return nil, fmt.Errorf("lz: copy shorter than %d", MinMatch)
+		}
+		off, k := binary.Uvarint(src)
+		if k <= 0 {
+			return nil, fmt.Errorf("lz: truncated copy offset")
+		}
+		src = src[k:]
+		if off == 0 || off > uint64(len(out)-base) {
+			return nil, fmt.Errorf("lz: copy offset %d outside decoded output", off)
+		}
+		if uint64(len(out)-base)+length > rawLen {
+			return nil, fmt.Errorf("lz: copy overflows declared length")
+		}
+		// Byte-at-a-time on purpose: a copy may overlap its own output
+		// (offset < length encodes a run), which a block copy would corrupt.
+		p := len(out) - int(off)
+		for j := 0; uint64(j) < length; j++ {
+			out = append(out, out[p+j])
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("lz: decoded %d bytes, declared %d", len(out)-base, rawLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	enc := Compress(nil, src)
+	if enc == nil {
+		return // incompressible is a legal outcome, nothing to verify
+	}
+	if len(enc) >= len(src) {
+		t.Fatalf("Compress returned %d bytes for %d-byte input without declining", len(enc), len(src))
+	}
+	dec, err := Decode(nil, enc, len(src))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(dec), len(src))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("hello world hello world hello world hello world"),
+		bytes.Repeat([]byte{0}, 4096),
+		bytes.Repeat([]byte("abcd"), 1000),
+		[]byte(strings.Repeat("the quick brown fox ", 64) + "jumps"),
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Mixed compressible/random segments exercise literal runs around copies.
+	mixed := make([]byte, 0, 8192)
+	for i := 0; i < 16; i++ {
+		seg := make([]byte, 256)
+		rng.Read(seg)
+		mixed = append(mixed, seg...)
+		mixed = append(mixed, bytes.Repeat([]byte{byte(i)}, 256)...)
+	}
+	cases = append(cases, mixed)
+	// Small-alphabet data, the shape of zigzag-varint sketch payloads.
+	sketchish := make([]byte, 4096)
+	for i := range sketchish {
+		sketchish[i] = byte(rng.Intn(4))
+	}
+	cases = append(cases, sketchish)
+	for i, src := range cases {
+		src := src
+		t.Run("", func(t *testing.T) {
+			_ = i
+			roundTrip(t, src)
+		})
+	}
+}
+
+func TestIncompressibleDeclines(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 4096)
+	rng.Read(src)
+	if enc := Compress(nil, src); enc != nil && len(enc) >= len(src) {
+		t.Fatalf("Compress returned a non-shrinking encoding (%d >= %d)", len(enc), len(src))
+	}
+}
+
+func TestDecodeLimit(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd"), 1000)
+	enc := Compress(nil, src)
+	if enc == nil {
+		t.Fatal("expected compressible input")
+	}
+	if _, err := Decode(nil, enc, len(src)-1); err == nil {
+		t.Fatal("Decode accepted a declared length over the limit")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := [][]byte{
+		{},                       // no length header
+		{0x80},                   // truncated uvarint
+		{10},                     // declared 10 bytes, no ops
+		{4, 0x09, 0x01},          // copy before any output
+		{4, 0x02, 'a', 0x09},     // truncated copy op
+		{2, 0x06, 'a', 'b', 'c'}, // literal overflows declared length
+		{4, 0x00},                // empty literal run
+	}
+	for _, src := range cases {
+		if _, err := Decode(nil, src, 1<<20); err == nil {
+			t.Fatalf("Decode accepted malformed input % x", src)
+		}
+	}
+}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("hello world hello world hello world"))
+	f.Add(bytes.Repeat([]byte{1, 2}, 64))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := Compress(nil, src)
+		if enc == nil {
+			return
+		}
+		dec, err := Decode(nil, enc, len(src))
+		if err != nil {
+			t.Fatalf("Decode of own encoding: %v", err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+func FuzzDecode(f *testing.F) {
+	f.Add(Compress(nil, bytes.Repeat([]byte("abcd"), 16)))
+	f.Add([]byte{4, 0x02, 'a', 0x09, 0x01})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		// Must never panic or over-allocate past the limit, valid or not.
+		out, err := Decode(nil, src, 1<<16)
+		if err == nil && len(out) > 1<<16 {
+			t.Fatalf("Decode produced %d bytes past its limit", len(out))
+		}
+	})
+}

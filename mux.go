@@ -1,0 +1,698 @@
+package pbs
+
+// Stream multiplexing: protocol version 2. After a version-2 fast hello
+// negotiates the mux feature (see fastProtoVersionMux in sync.go), every
+// frame on the connection keeps the v0/v1 outer header — 4-byte big-endian
+// length plus 1-byte type — but its payload gains a mux envelope:
+//
+//	uvarint(streamID) | uvarint(flags) | body
+//
+// so N logical sessions interleave over one connection, each stream driven
+// by its own independent session engine. The envelope flags carry stream
+// lifecycle (open on the first frame, close on the last) and per-frame
+// compression; the outer framing, frame budgets, and coalesced-write path
+// are untouched, and a connection that never negotiates v2 never sees an
+// envelope byte — the legacy wire format stays byte-identical.
+//
+// Negotiation rides the existing single-RTT hello, so it costs zero extra
+// round trips: the first stream taken from a MuxConn sends the fast hello
+// with want-flags, and the switch to enveloped framing happens at the
+// hello-reply boundary — a point where the fast-path initiator is
+// guaranteed silent (it sends nothing between hello and reply), so neither
+// side can misparse an in-flight frame under the old framing.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"pbs/internal/lz"
+)
+
+const (
+	muxFlagOpen       = 1 << 0 // first frame of a new stream
+	muxFlagClose      = 1 << 1 // last frame of the stream (sender side)
+	muxFlagCompressed = 1 << 2 // body is lz-compressed
+	muxFlagKnown      = muxFlagOpen | muxFlagClose | muxFlagCompressed
+)
+
+// maxStreamID caps client-allocated stream IDs; beyond it Stream returns
+// ErrStreamsExhausted rather than risking varint ambiguity at the top of
+// the uint64 range. At one sync per stream this allows 2^62 syncs per
+// dialed connection, so exhaustion in practice means a counting bug.
+const maxStreamID = 1 << 62
+
+// muxCompressMin is the smallest body worth offering to the compressor:
+// below it the lz header overhead and the CPU spent can't win anything
+// that matters, so tiny frames (done, round replies for small d) skip it.
+const muxCompressMin = 512
+
+// muxInboxDepth bounds per-stream frames buffered between the shared
+// reader and a stream's consumer. The session protocol is strictly
+// request/response per stream, so more than a couple of undelivered
+// frames means the peer is flooding; overflowing streams are torn down
+// instead of letting one slow consumer wedge the whole connection.
+const muxInboxDepth = 16
+
+var (
+	// ErrMuxDeclined reports that the peer answered the negotiating sync
+	// without granting multiplexing (a v1-only peer, or a server with mux
+	// disabled). The first stream's sync still completed as a plain fast
+	// sync; callers fall back to one connection per session.
+	ErrMuxDeclined = errors.New("pbs: peer declined stream multiplexing")
+	// ErrMuxClosed reports use of a MuxConn after Close or after the
+	// underlying connection failed.
+	ErrMuxClosed = errors.New("pbs: mux connection closed")
+	// ErrStreamsExhausted reports that the connection has allocated all
+	// maxStreamID stream IDs; dial a fresh connection.
+	ErrStreamsExhausted = errors.New("pbs: mux stream IDs exhausted")
+)
+
+// appendMuxPayload serializes a mux envelope (stream ID, flags, body) onto
+// dst; the result is the payload of an outer v0-framed message.
+func appendMuxPayload(dst []byte, streamID, flags uint64, body []byte) []byte {
+	dst = binary.AppendUvarint(dst, streamID)
+	dst = binary.AppendUvarint(dst, flags)
+	return append(dst, body...)
+}
+
+// parseMuxPayload decodes a mux envelope. body aliases b.
+func parseMuxPayload(b []byte) (streamID, flags uint64, body []byte, err error) {
+	streamID, k := binary.Uvarint(b)
+	if k <= 0 {
+		return 0, 0, nil, fmt.Errorf("pbs: mux envelope: truncated stream ID")
+	}
+	b = b[k:]
+	flags, k = binary.Uvarint(b)
+	if k <= 0 {
+		return 0, 0, nil, fmt.Errorf("pbs: mux envelope: truncated flags")
+	}
+	return streamID, flags, b[k:], nil
+}
+
+// muxAppendFrame serializes one complete enveloped frame — outer header,
+// stream ID, flags, body — onto dst. Both sides build their coalesced
+// write batches with it, so a multi-frame burst still leaves in one Write.
+func muxAppendFrame(dst []byte, streamID, flags uint64, typ byte, body []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, typ)
+	dst = binary.AppendUvarint(dst, streamID)
+	dst = binary.AppendUvarint(dst, flags)
+	dst = append(dst, body...)
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-5))
+	return dst
+}
+
+// muxCompressBody returns the wire form of body under a negotiated-lz
+// connection: the compressed bytes and true when body clears the size
+// threshold and the codec actually shrank it, body unchanged and false
+// otherwise (the receiver keys off the per-frame compressed flag, so
+// declining is always safe).
+func muxCompressBody(body []byte, lzOn bool) ([]byte, bool) {
+	if !lzOn || len(body) < muxCompressMin {
+		return body, false
+	}
+	if comp := lz.Compress(nil, body); comp != nil {
+		return comp, true
+	}
+	return body, false
+}
+
+// featureRequester lets a connection ask Set.Sync to fold a protocol
+// feature request into its fast hello. The negotiating MuxStream is the
+// one implementation; everything else syncs with an empty request and a
+// byte-identical legacy hello.
+type featureRequester interface{ muxFeatureRequest() uint64 }
+
+// muxDeadline makes a time.Time deadline selectable: wait returns a
+// channel that closes once the current deadline passes, and set replaces
+// the deadline, closing immediately when it is already in the past — the
+// poisoned-deadline interruption idiom framePump relies on, rebuilt for a
+// stream whose reads block on a channel instead of a socket.
+type muxDeadline struct {
+	mu    sync.Mutex
+	timer *time.Timer
+	ch    chan struct{} // nil = no deadline; closed = expired
+}
+
+func (d *muxDeadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.timer != nil {
+		// A stopped-too-late timer closes the channel it captured, which is
+		// no longer the live one — harmless either way.
+		d.timer.Stop()
+		d.timer = nil
+	}
+	if t.IsZero() {
+		d.ch = nil
+		return
+	}
+	ch := make(chan struct{})
+	d.ch = ch
+	if dur := time.Until(t); dur <= 0 {
+		close(ch)
+	} else {
+		d.timer = time.AfterFunc(dur, func() { close(ch) })
+	}
+}
+
+// wait returns the current deadline channel; nil (blocks forever in a
+// select) when no deadline is set.
+func (d *muxDeadline) wait() <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ch
+}
+
+func (d *muxDeadline) expired() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ch == nil {
+		return false
+	}
+	select {
+	case <-d.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+const (
+	muxNegotiating = iota // hello in flight (or not yet sent)
+	muxOn                 // peer granted mux: enveloped framing
+	muxPassthrough        // peer declined: raw framing, single stream
+	muxDead               // connection closed or failed
+)
+
+// MuxConn multiplexes many concurrent Set.Sync sessions over one dialed
+// connection. Take streams with Stream; each stream is a net.Conn that
+// carries exactly one sync session. The first stream is the negotiator:
+// its Set.Sync (which must use the fast path, WithFastSync's default)
+// piggybacks the feature request on the hello, and every later Stream call
+// blocks until that reply lands. If the peer declines — a legacy or
+// mux-disabled server — the first sync still completes as a plain fast
+// sync and later Stream calls return ErrMuxDeclined so callers can fall
+// back to a connection per session.
+//
+// Retry and chaos layers compose per-stream: wrap the dialed net.Conn
+// before handing it to NewMuxConn and every stream's traffic flows through
+// the wrapper; a RetryPolicy whose Dial returns fresh streams retries
+// individual syncs without re-dialing.
+type MuxConn struct {
+	conn     net.Conn
+	compress bool
+
+	wmu sync.Mutex // serializes writes to conn
+
+	mu              sync.Mutex
+	state           int
+	granted         uint64
+	err             error         // first terminal connection error
+	negCh           chan struct{} // closed once negotiation resolves (or dies)
+	streams         map[uint64]*MuxStream
+	nextID          uint64
+	negotiatorTaken bool
+}
+
+// MuxOption configures a MuxConn.
+type MuxOption func(*MuxConn)
+
+// WithMuxCompression offers lz frame compression during negotiation; the
+// peer may decline. Compressed framing only applies to frames at or above
+// an internal size threshold that actually shrink, so enabling it on
+// small-frame workloads costs one cheap encoding pass per large frame and
+// nothing else.
+func WithMuxCompression(on bool) MuxOption {
+	return func(m *MuxConn) { m.compress = on }
+}
+
+// NewMuxConn wraps a dialed connection for stream multiplexing and starts
+// its demultiplexing reader. The caller must run a fast-path Set.Sync on
+// the first stream promptly — it carries the negotiation every other
+// stream waits on. Close the MuxConn (not the inner conn) when done.
+func NewMuxConn(conn net.Conn, opts ...MuxOption) *MuxConn {
+	m := &MuxConn{
+		conn:    conn,
+		negCh:   make(chan struct{}),
+		streams: make(map[uint64]*MuxStream),
+		nextID:  2, // 1 is the negotiator
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	go m.readLoop()
+	return m
+}
+
+// Stream returns a connection carrying one logical sync session. The
+// first call returns the negotiator stream immediately; subsequent calls
+// block until the peer's hello reply resolves the negotiation.
+func (m *MuxConn) Stream() (*MuxStream, error) {
+	m.mu.Lock()
+	if m.err != nil {
+		defer m.mu.Unlock()
+		return nil, m.err
+	}
+	if !m.negotiatorTaken {
+		m.negotiatorTaken = true
+		st := m.newStreamLocked(1, true)
+		m.mu.Unlock()
+		return st, nil
+	}
+	negCh := m.negCh
+	m.mu.Unlock()
+	<-negCh
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch m.state {
+	case muxOn:
+		if m.nextID > maxStreamID {
+			return nil, ErrStreamsExhausted
+		}
+		id := m.nextID
+		m.nextID++
+		return m.newStreamLocked(id, false), nil
+	case muxPassthrough:
+		return nil, ErrMuxDeclined
+	default:
+		if m.err != nil {
+			return nil, m.err
+		}
+		return nil, ErrMuxClosed
+	}
+}
+
+func (m *MuxConn) newStreamLocked(id uint64, negotiator bool) *MuxStream {
+	st := &MuxStream{
+		m:          m,
+		id:         id,
+		negotiator: negotiator,
+		inbox:      make(chan muxMsg, muxInboxDepth),
+		done:       make(chan struct{}),
+	}
+	m.streams[id] = st
+	return st
+}
+
+// Granted reports the feature bitmap the peer granted; valid after the
+// negotiation resolves (any Stream call past the first has waited for it).
+func (m *MuxConn) Granted() (mux, compression bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.granted&featureMux != 0, m.granted&featureLZ != 0
+}
+
+// Close closes the underlying connection and fails every open stream.
+func (m *MuxConn) Close() error {
+	err := m.conn.Close()
+	m.fail(ErrMuxClosed)
+	return err
+}
+
+// fail records the first terminal error, resolves a pending negotiation,
+// and tears down every stream. Called by the reader on connection errors
+// and by Close.
+func (m *MuxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	if m.state == muxNegotiating {
+		close(m.negCh)
+	}
+	m.state = muxDead
+	streams := make([]*MuxStream, 0, len(m.streams))
+	for _, st := range m.streams {
+		streams = append(streams, st)
+	}
+	m.streams = make(map[uint64]*MuxStream)
+	m.mu.Unlock()
+	for _, st := range streams {
+		st.teardown(err)
+	}
+}
+
+// resolve records the peer's negotiation answer. Runs on the reader
+// goroutine before the resolving frame is delivered, so a consumer that
+// has read the hello reply observes the resolved state.
+func (m *MuxConn) resolve(granted uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != muxNegotiating {
+		return
+	}
+	m.granted = granted
+	if granted&featureMux != 0 {
+		m.state = muxOn
+	} else {
+		m.state = muxPassthrough
+	}
+	close(m.negCh)
+}
+
+func (m *MuxConn) muxed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state == muxOn
+}
+
+func (m *MuxConn) removeStream(id uint64) {
+	m.mu.Lock()
+	delete(m.streams, id)
+	m.mu.Unlock()
+}
+
+// writeWire writes one pre-framed batch to the connection under the shared
+// write lock, with the writing stream's deadline applied for the duration.
+// Any write error is terminal for the whole connection: a timed-out or
+// short write may have left a partial frame on the wire, after which no
+// stream can trust the framing.
+func (m *MuxConn) writeWire(b []byte, deadline time.Time) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	m.conn.SetWriteDeadline(deadline)
+	if _, err := m.conn.Write(b); err != nil {
+		m.fail(fmt.Errorf("pbs: mux write: %w", err))
+		return err
+	}
+	return nil
+}
+
+// readLoop is the demultiplexer: it owns all reads from the connection,
+// resolves the negotiation at the hello-reply boundary, and routes frames
+// to stream inboxes. readFrameInto with a nil buffer allocates per frame,
+// so delivered payloads never alias each other.
+func (m *MuxConn) readLoop() {
+	for {
+		typ, payload, err := readFrame(m.conn)
+		if err != nil {
+			m.fail(fmt.Errorf("pbs: mux read: %w", err))
+			return
+		}
+		if !m.muxed() {
+			// Negotiating or passthrough: every frame belongs to stream 1.
+			// The first frame of the conversation resolves the negotiation:
+			// a hello reply carries the grant flags; anything else (msgError
+			// from a rejecting server, a legacy estimate reply) means no
+			// grant and permanent passthrough.
+			m.mu.Lock()
+			negotiating := m.state == muxNegotiating
+			st := m.streams[1]
+			m.mu.Unlock()
+			if negotiating {
+				var granted uint64
+				if typ == msgHelloReplyV1 {
+					if rep, err := parseFastHelloReply(payload); err == nil {
+						granted = rep.features
+					}
+				}
+				m.resolve(granted)
+			}
+			m.deliver(st, typ, payload, false)
+			continue
+		}
+		id, flags, body, perr := parseMuxPayload(payload)
+		if perr != nil || flags&^uint64(muxFlagKnown) != 0 {
+			m.fail(fmt.Errorf("pbs: mux read: malformed envelope (type %d)", typ))
+			return
+		}
+		if flags&muxFlagCompressed != 0 {
+			body, perr = lz.Decode(nil, body, maxFrame)
+			if perr != nil {
+				m.fail(fmt.Errorf("pbs: mux read: %w", perr))
+				return
+			}
+		}
+		m.mu.Lock()
+		st := m.streams[id]
+		m.mu.Unlock()
+		if st == nil {
+			// A frame for a stream we already closed: a benign close race.
+			continue
+		}
+		m.deliver(st, typ, body, flags&muxFlagClose != 0)
+	}
+}
+
+// deliver hands one frame to a stream without ever blocking the shared
+// reader: an inbox that is full means the peer is violating the
+// request/response discipline, and only that stream pays for it.
+func (m *MuxConn) deliver(st *MuxStream, typ byte, payload []byte, close bool) {
+	if st == nil {
+		return
+	}
+	select {
+	case st.inbox <- muxMsg{typ: typ, payload: payload}:
+	default:
+		st.teardown(fmt.Errorf("pbs: mux stream %d inbox overflow", st.id))
+		m.removeStream(st.id)
+		return
+	}
+	if close {
+		// Remote end is done with the stream: frames already delivered
+		// drain first (Read prefers the inbox over the done signal).
+		st.teardown(nil)
+		m.removeStream(st.id)
+	}
+}
+
+type muxMsg struct {
+	typ     byte
+	payload []byte
+}
+
+// MuxStream is one logical session's net.Conn over a MuxConn. It speaks
+// the ordinary frame wire format to its user — the session engines and
+// frame pumps run unmodified — and translates to enveloped frames on the
+// shared connection underneath. A stream carries exactly one sync
+// session: the session's closing msgDone carries the stream-close flag,
+// and a stream closed without one sends a bare msgStreamClose.
+type MuxStream struct {
+	m          *MuxConn
+	id         uint64
+	negotiator bool
+
+	// Write side, guarded by wmu. wpending reassembles complete frames
+	// out of arbitrary write segmentation (net.Buffers gather writes land
+	// here buffer by buffer) before enveloping them.
+	wmu       sync.Mutex
+	wpending  []byte
+	opened    bool
+	closeSent bool
+	wd        time.Time
+
+	// Read side: the demux reader fills inbox; Read re-frames messages
+	// into rbuf. done closes on teardown, err (under emu) holds the
+	// terminal error — nil for a clean remote close, which reads as EOF.
+	inbox chan muxMsg
+	rbuf  []byte
+	rd    muxDeadline
+
+	emu      sync.Mutex
+	err      error
+	tornDown bool
+	done     chan struct{}
+
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*MuxStream)(nil)
+
+// muxFeatureRequest implements featureRequester: the negotiator stream
+// asks Set.Sync to fold the connection's feature offer into its hello.
+func (s *MuxStream) muxFeatureRequest() uint64 {
+	if !s.negotiator {
+		return 0
+	}
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	if s.m.state != muxNegotiating {
+		return 0
+	}
+	f := uint64(featureMux)
+	if s.m.compress {
+		f |= featureLZ
+	}
+	return f
+}
+
+func (s *MuxStream) teardown(err error) {
+	s.emu.Lock()
+	if s.tornDown {
+		s.emu.Unlock()
+		return
+	}
+	s.tornDown = true
+	s.err = err
+	close(s.done)
+	s.emu.Unlock()
+}
+
+// termErr is what Read reports once the stream is down and drained: the
+// terminal error, or io.EOF for a clean close.
+func (s *MuxStream) termErr() error {
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return io.EOF
+}
+
+// raw reports whether writes bypass the envelope: the negotiator before
+// the negotiation resolves (its hello IS the negotiation) and forever on
+// a passthrough connection. The protocol guarantees the mode never flips
+// mid-frame — the fast-path initiator is silent between hello and reply,
+// and the reply resolves the mode before its bytes reach the consumer.
+func (s *MuxStream) raw() bool {
+	if !s.negotiator {
+		return false
+	}
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	return s.m.state == muxNegotiating || s.m.state == muxPassthrough
+}
+
+func (s *MuxStream) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for len(s.rbuf) == 0 {
+		if s.rd.expired() {
+			return 0, os.ErrDeadlineExceeded
+		}
+		select {
+		case msg := <-s.inbox:
+			s.rbuf = appendFrame(s.rbuf[:0], msg.typ, msg.payload)
+		case <-s.done:
+			// Frames delivered before teardown still count: drain the inbox
+			// before reporting the terminal state.
+			select {
+			case msg := <-s.inbox:
+				s.rbuf = appendFrame(s.rbuf[:0], msg.typ, msg.payload)
+			default:
+				return 0, s.termErr()
+			}
+		case <-s.rd.wait():
+			// Deadline fired (or was replaced); re-check at the top.
+		}
+	}
+	n := copy(p, s.rbuf)
+	s.rbuf = s.rbuf[n:]
+	return n, nil
+}
+
+func (s *MuxStream) Write(p []byte) (int, error) {
+	select {
+	case <-s.done:
+		if err := s.termErr(); err != io.EOF {
+			return 0, err
+		}
+		return 0, ErrMuxClosed
+	default:
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.raw() {
+		// Negotiator on a not-(yet-)muxed connection: bytes pass through
+		// verbatim, so arbitrary segmentation is already preserved. The
+		// raw hello doubles as the stream's open — if the peer grants mux,
+		// its server-side stream 1 already exists, so later enveloped
+		// frames must not carry the open flag again.
+		if err := s.m.writeWire(p, s.wd); err != nil {
+			return 0, err
+		}
+		s.opened = true
+		return len(p), nil
+	}
+	s.wpending = append(s.wpending, p...)
+	var out []byte
+	s.m.mu.Lock()
+	lzOn := s.m.granted&featureLZ != 0
+	s.m.mu.Unlock()
+	for {
+		if len(s.wpending) < 5 {
+			break
+		}
+		n := binary.BigEndian.Uint32(s.wpending[:4])
+		if n > maxFrame {
+			return 0, fmt.Errorf("pbs: mux stream %d: oversized frame (%d bytes)", s.id, n)
+		}
+		if uint32(len(s.wpending)-5) < n {
+			break
+		}
+		typ := s.wpending[4]
+		body := s.wpending[5 : 5+n]
+		var flags uint64
+		if !s.opened {
+			flags |= muxFlagOpen
+			s.opened = true
+		}
+		if typ == msgDone || typ == msgStreamClose {
+			flags |= muxFlagClose
+			s.closeSent = true
+		}
+		if wire, compressed := muxCompressBody(body, lzOn); compressed {
+			body = wire
+			flags |= muxFlagCompressed
+		}
+		out = muxAppendFrame(out, s.id, flags, typ, body)
+		s.wpending = s.wpending[5+n:]
+	}
+	if len(s.wpending) == 0 {
+		s.wpending = nil // frame boundary: release the buffer
+	}
+	if len(out) > 0 {
+		if err := s.m.writeWire(out, s.wd); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// Close tears the stream down locally and, when the session didn't already
+// say goodbye (msgDone carries the close flag), tells the peer with a bare
+// msgStreamClose so the server frees the stream's session state promptly.
+func (s *MuxStream) Close() error {
+	s.closeOnce.Do(func() {
+		s.wmu.Lock()
+		needsWire := !s.raw() && s.opened && !s.closeSent
+		s.closeSent = true
+		s.wmu.Unlock()
+		if needsWire && s.m.muxed() {
+			// Best effort: the connection may already be gone.
+			s.m.writeWire(muxAppendFrame(nil, s.id, muxFlagClose, msgStreamClose, nil), time.Time{})
+		}
+		s.teardown(nil)
+		s.m.removeStream(s.id)
+	})
+	return nil
+}
+
+func (s *MuxStream) LocalAddr() net.Addr  { return s.m.conn.LocalAddr() }
+func (s *MuxStream) RemoteAddr() net.Addr { return s.m.conn.RemoteAddr() }
+
+func (s *MuxStream) SetDeadline(t time.Time) error {
+	s.SetReadDeadline(t)
+	return s.SetWriteDeadline(t)
+}
+
+func (s *MuxStream) SetReadDeadline(t time.Time) error {
+	s.rd.set(t)
+	return nil
+}
+
+func (s *MuxStream) SetWriteDeadline(t time.Time) error {
+	s.wmu.Lock()
+	s.wd = t
+	s.wmu.Unlock()
+	return nil
+}

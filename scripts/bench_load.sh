@@ -131,12 +131,55 @@ go run ./cmd/pbs-benchgate \
   -baseline testdata/bench_baselines/BENCH_latency.json \
   -current "$lat_out" -max-ns-regress 1.5
 
-# The server must export the session histograms on expvar.
+# Phase 3: the same fleet multiplexed — `workers` workers sharing sockets
+# 32-ways through the version-2 framed protocol (500 workers ride 16
+# connections), against the same server, so the final clean-drain check
+# covers the muxed sessions too. Gate: multiplexing must not cost
+# throughput relative to the unmuxed smoke of phase 1.
+mux_streams=32
+mux_out="$tmp/mux_report.json"
+"$tmp/pbs-loadgen" -addr "$addr" \
+  -workers "$workers" -duration "$duration" \
+  -size "$size" -diff "$diff" -churn "$churn" -workload-seed 1 \
+  -mux "$mux_streams" -verify -json "$mux_out"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$mux_out" "$out" "$workers" "$mux_streams" <<'EOF'
+import json, sys
+mux = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+workers, streams = int(sys.argv[3]), int(sys.argv[4])
+conns = -(-workers // streams)
+assert mux["workers"] == workers, f"workers {mux['workers']} != {workers}"
+assert mux.get("mux_streams") == streams and mux.get("mux_conns") == conns, \
+    f"mux shape {mux.get('mux_streams')}x{mux.get('mux_conns')}, want {streams} streams over {conns} conns"
+assert mux["syncs"] > 0, "no muxed syncs"
+assert mux["errors"] == 0, f"{mux['errors']} errors: {mux.get('first_error','')}"
+# Sharing sockets must not cost throughput: the muxed fleet has to keep
+# pace with phase 1's one-socket-per-worker rate. 10% measurement slack —
+# two 10s wall-clock runs on a shared CI runner never land on the same
+# number, and the regression this guards against (streams serializing
+# behind one another) would cost far more than 10%.
+floor = 0.9 * base["syncs_per_sec"]
+assert mux["syncs_per_sec"] >= floor, \
+    f"muxed throughput {mux['syncs_per_sec']:.0f}/s below unmuxed floor {floor:.0f}/s"
+print(f"mux OK: {mux['syncs']} syncs at {mux['syncs_per_sec']:.0f}/s "
+      f"({streams} streams/conn over {mux['mux_conns']} conns; unmuxed {base['syncs_per_sec']:.0f}/s)")
+EOF
+else
+  grep -q '"mux_conns"' "$mux_out" || { echo "missing mux_conns in $mux_out" >&2; exit 1; }
+  if ! grep -q '"errors": 0' "$mux_out"; then
+    echo "mux load run reported errors" >&2
+    exit 1
+  fi
+fi
+
+# The server must export the session histograms and mux counters on expvar.
 if command -v curl >/dev/null 2>&1; then
   vars="$(curl -fsS "http://$metrics/debug/vars")"
-  for key in LatencyUS SessionRounds SessionBytes; do
+  for key in LatencyUS SessionRounds SessionBytes StreamsOpen StreamsTotal BytesSavedCompression; do
     echo "$vars" | grep -q "\"$key\"" || {
-      echo "metrics endpoint missing $key histogram" >&2
+      echo "metrics endpoint missing $key" >&2
       exit 1
     }
   done
@@ -153,7 +196,7 @@ grep -Eq 'done: [1-9][0-9]* completed, 0 failed, 0 rejected' "$log" || {
 }
 echo "pbs-loadgen smoke OK ($workers concurrent sessions)"
 
-# Phase 3: chaos smoke — a short fault-injected run (own server
+# Phase 4: chaos smoke — a short fault-injected run (own server
 # instances, so the clean-drain grep above is unaffected) proves the
 # retrying fleet converges through mid-frame disconnects and mixed
 # faults. The nightly soak runs the full scenario matrix for longer.

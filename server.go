@@ -11,6 +11,7 @@ import (
 
 	"pbs/internal/core"
 	"pbs/internal/hist"
+	"pbs/internal/lz"
 )
 
 // Server answers reconciliation sessions concurrently over TCP (or any
@@ -71,6 +72,14 @@ type Server struct {
 	bytesOut  atomic.Int64
 	rounds    atomic.Int64
 
+	// Mux accounting: streamsOpen gauges currently open mux streams across
+	// all connections, streamsTotal counts every stream ever opened, and
+	// bytesSaved sums the wire bytes the negotiated lz compression saved in
+	// both directions.
+	streamsOpen  atomic.Int64
+	streamsTotal atomic.Int64
+	bytesSaved   atomic.Int64
+
 	// Per-completed-session distributions (see ServerStats): wall-clock
 	// latency in microseconds, protocol rounds, and wire bytes. Striped
 	// atomics — recording is one atomic add, safe from every connection
@@ -93,6 +102,9 @@ const (
 	// DefaultRetryAfterHint is the base retry-after hint attached to
 	// busy-coded rejections when ServerOptions.RetryAfterHint is zero.
 	DefaultRetryAfterHint = 250 * time.Millisecond
+	// DefaultMaxStreams is the per-connection cap on concurrently open
+	// mux streams when ServerOptions.MaxStreams is zero.
+	DefaultMaxStreams = 128
 )
 
 // ServerOptions configures a Server. The zero value serves with the
@@ -132,6 +144,12 @@ type ServerOptions struct {
 	// capacity cap hints twice this). 0 selects DefaultRetryAfterHint;
 	// negative omits the hint.
 	RetryAfterHint time.Duration
+	// MaxStreams caps the mux streams concurrently open on one connection
+	// once a version-2 hello negotiates multiplexing; opens beyond the cap
+	// are rejected per-stream with a busy-coded msgError. 0 selects
+	// DefaultMaxStreams; negative disables mux negotiation entirely (every
+	// feature offer is declined and connections stay single-stream).
+	MaxStreams int
 }
 
 func (o ServerOptions) maxSessions() int64 {
@@ -188,6 +206,25 @@ func (o ServerOptions) retryAfterHint() time.Duration {
 	return DefaultRetryAfterHint
 }
 
+func (o ServerOptions) maxStreams() int {
+	switch {
+	case o.MaxStreams > 0:
+		return o.MaxStreams
+	case o.MaxStreams < 0:
+		return 0
+	}
+	return DefaultMaxStreams
+}
+
+// allowedFeatures is the feature bitmap the connection loop may grant to a
+// version-2 fast hello: mux (plus compression) whenever mux is enabled.
+func (o ServerOptions) allowedFeatures() uint64 {
+	if o.maxStreams() <= 0 {
+		return 0
+	}
+	return featureMux | featureLZ
+}
+
 // ServerStats is a point-in-time snapshot of a Server's counters, fit for
 // an expvar.Func or a metrics endpoint.
 type ServerStats struct {
@@ -200,6 +237,10 @@ type ServerStats struct {
 	BytesIn   int64 // wire bytes read across all sessions
 	BytesOut  int64 // wire bytes written across all sessions
 	Rounds    int64 // protocol rounds answered in completed sessions
+
+	StreamsOpen           int64 // mux streams currently open across all connections
+	StreamsTotal          int64 // mux streams ever opened
+	BytesSavedCompression int64 // wire bytes saved by negotiated lz compression, both directions
 
 	// Distributions over completed sessions, recorded at the moment the
 	// initiator's msgDone lands. LatencyUS is the wall-clock session
@@ -394,25 +435,33 @@ func (s *Server) admit(conn net.Conn, name string) *ResponderSession {
 			s.failed.Add(1)
 			s.sendError(conn, reason)
 		}
+		return nil
 	}
+	// Sessions on the sequential connection loop may negotiate the mux
+	// upgrade; sessions a muxLoop admits per stream go through startSession
+	// directly and never re-negotiate (no mux inside mux).
+	sess.allowFeatures = s.opt.allowedFeatures()
 	return sess
 }
 
 // Stats returns a snapshot of the server counters and session histograms.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Active:        s.sessActive.Load(),
-		Accepted:      s.accepted.Load(),
-		Completed:     s.completed.Load(),
-		Failed:        s.failed.Load(),
-		Rejected:      s.rejected.Load(),
-		Shed:          s.shed.Load(),
-		BytesIn:       s.bytesIn.Load(),
-		BytesOut:      s.bytesOut.Load(),
-		Rounds:        s.rounds.Load(),
-		LatencyUS:     summarize(s.latencyHist.Snapshot()),
-		SessionRounds: summarize(s.roundsHist.Snapshot()),
-		SessionBytes:  summarize(s.bytesHist.Snapshot()),
+		Active:                s.sessActive.Load(),
+		Accepted:              s.accepted.Load(),
+		Completed:             s.completed.Load(),
+		Failed:                s.failed.Load(),
+		Rejected:              s.rejected.Load(),
+		Shed:                  s.shed.Load(),
+		BytesIn:               s.bytesIn.Load(),
+		BytesOut:              s.bytesOut.Load(),
+		Rounds:                s.rounds.Load(),
+		StreamsOpen:           s.streamsOpen.Load(),
+		StreamsTotal:          s.streamsTotal.Load(),
+		BytesSavedCompression: s.bytesSaved.Load(),
+		LatencyUS:             summarize(s.latencyHist.Snapshot()),
+		SessionRounds:         summarize(s.roundsHist.Snapshot()),
+		SessionBytes:          summarize(s.bytesHist.Snapshot()),
 	}
 }
 
@@ -749,6 +798,297 @@ func (s *Server) handle(conn net.Conn) {
 			s.sessActive.Add(-1)
 			sess = nil
 			sessionBytes, roundFrames = 0, 0
+		}
+		if sess != nil {
+			if g := sess.grantedFeatures(); g&featureMux != 0 {
+				// The hello reply that granted mux just went out, and the
+				// fast-path initiator sends nothing until it has read it —
+				// so the very next inbound frame is already enveloped.
+				// Ownership of the session (and its sessActive slot) moves
+				// to the demultiplexer as stream 1.
+				first := &srvStream{
+					sess:        sess,
+					start:       sessStart,
+					bytes:       sessionBytes,
+					roundFrames: roundFrames,
+					lastActive:  time.Now(),
+				}
+				sess = nil
+				s.muxLoop(conn, buf, cur, first, g&featureLZ != 0)
+				return
+			}
+		}
+	}
+}
+
+// srvStream is the server-side state of one mux stream: its session engine
+// plus the per-stream budget and accounting state the sequential loop
+// keeps in locals.
+type srvStream struct {
+	sess        *ResponderSession
+	start       time.Time
+	bytes       int64
+	roundFrames int
+	lastActive  time.Time
+}
+
+// muxLoop is handle's demultiplexing sibling: after a fast hello
+// negotiates mux, the connection's frames carry stream envelopes and this
+// loop routes each to its stream's session engine. Per-stream budgets and
+// idle deadlines mirror the sequential loop's session limits exactly, and
+// every per-stream failure is enveloped back on that stream with a close
+// flag — one hostile or unlucky stream can never wedge its siblings. Step
+// outputs are batched into one write per inbound frame (the coalesced
+// write path), which round-robins the connection fairly because streams
+// are served strictly in frame-arrival order.
+func (s *Server) muxLoop(conn net.Conn, buf *[]byte, cur int64, first *srvStream, lzOn bool) {
+	streams := map[uint64]*srvStream{1: first}
+	s.streamsOpen.Add(1)
+	s.streamsTotal.Add(1)
+	defer func() {
+		// Connection teardown: streams that were mid-session fail; the
+		// clean case (every stream completed or closed first) has an empty
+		// table and counts nothing.
+		for _, st := range streams {
+			if st.sess.started() || st.bytes > 0 {
+				s.failed.Add(1)
+			}
+			s.sessActive.Add(-1)
+			s.streamsOpen.Add(-1)
+		}
+	}()
+
+	// writeBatch sends one pre-assembled burst of enveloped frames under
+	// the idle write deadline. A write error is terminal for the whole
+	// connection — a partial frame poisons the framing for every stream.
+	writeBatch := func(b []byte) error {
+		if len(b) == 0 {
+			return nil
+		}
+		if t := s.opt.idleTimeout(); t > 0 {
+			conn.SetWriteDeadline(time.Now().Add(t))
+		}
+		if _, err := conn.Write(b); err != nil {
+			return err
+		}
+		s.bytesOut.Add(int64(len(b)))
+		return nil
+	}
+	// streamError reports a per-stream failure to the client: a coded
+	// msgError enveloped on that stream with the close flag, leaving the
+	// connection (and every sibling stream) running.
+	streamError := func(id uint64, msg, code string, retryAfter time.Duration) error {
+		payload := appendErrCode(msg, code, retryAfter)
+		return writeBatch(muxAppendFrame(nil, id, muxFlagClose, msgError, []byte(payload)))
+	}
+	// dropStream releases a stream's slot; failed says whether it counts
+	// as a failed session (vs. completed or a never-started probe).
+	dropStream := func(id uint64, st *srvStream, failed bool) {
+		if failed {
+			s.failed.Add(1)
+		}
+		s.sessActive.Add(-1)
+		s.streamsOpen.Add(-1)
+		delete(streams, id)
+	}
+
+	idle := s.opt.idleTimeout()
+	lastSweep := time.Now()
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		typ, payload, err := readFrameInto(conn, maxFrame, (*buf)[:0])
+		if payload != nil {
+			*buf = payload[:0]
+		}
+		if err != nil {
+			return
+		}
+		n := int64(5 + len(payload))
+		s.bytesIn.Add(n)
+
+		id, flags, body, perr := parseMuxPayload(payload)
+		if perr != nil || flags&^uint64(muxFlagKnown) != 0 {
+			// A malformed envelope means framing trust is gone; there is no
+			// stream to blame it on, so the connection dies.
+			return
+		}
+		if flags&muxFlagCompressed != 0 {
+			if !lzOn {
+				return
+			}
+			decoded, derr := lz.Decode(nil, body, maxFrame)
+			if derr != nil {
+				return
+			}
+			s.bytesSaved.Add(int64(len(decoded) - len(body)))
+			body = decoded
+		}
+
+		st := streams[id]
+		if st == nil {
+			if flags&muxFlagOpen == 0 {
+				if typ == msgStreamClose || flags&muxFlagClose != 0 {
+					// Close for a stream already gone: a benign race between
+					// the client's close and our teardown.
+					continue
+				}
+				// Unknown stream: reject it with a coded error on that ID;
+				// the connection and its live streams are unaffected.
+				s.rejected.Add(1)
+				if werr := streamError(id, fmt.Sprintf("unknown stream %d", id), ErrCodeRejected, 0); werr != nil {
+					return
+				}
+				continue
+			}
+			if max := s.opt.maxStreams(); len(streams) >= max {
+				s.rejected.Add(1)
+				s.shed.Add(1)
+				if werr := streamError(id, "connection at stream capacity", ErrCodeBusy, s.opt.retryAfterHint()); werr != nil {
+					return
+				}
+				continue
+			}
+			name := DefaultSetName
+			switch typ {
+			case msgHello:
+				name = string(body)
+			case msgHelloV1:
+				if hn, herr := fastHelloSetName(body); herr != nil {
+					s.failed.Add(1)
+					if werr := streamError(id, herr.Error(), ErrCodeRejected, 0); werr != nil {
+						return
+					}
+					continue
+				} else if hn != "" {
+					name = hn
+				}
+			}
+			sess, reason, shuttingDown := s.startSession(name)
+			if sess == nil {
+				if shuttingDown {
+					s.rejected.Add(1)
+					if werr := streamError(id, reason, ErrCodeBusy, s.opt.retryAfterHint()); werr != nil {
+						return
+					}
+				} else {
+					s.failed.Add(1)
+					if werr := streamError(id, reason, ErrCodeRejected, 0); werr != nil {
+						return
+					}
+				}
+				continue
+			}
+			st = &srvStream{sess: sess, start: time.Now()}
+			streams[id] = st
+			s.streamsOpen.Add(1)
+			s.streamsTotal.Add(1)
+		} else if flags&muxFlagOpen != 0 {
+			if werr := streamError(id, fmt.Sprintf("duplicate open for stream %d", id), ErrCodeRejected, 0); werr != nil {
+				return
+			}
+			dropStream(id, st, true)
+			continue
+		}
+		st.lastActive = time.Now()
+		st.bytes += n
+		if budget := s.opt.sessionByteBudget(); budget > 0 && st.bytes > budget {
+			if werr := streamError(id, "session byte budget exceeded", ErrCodeRejected, 0); werr != nil {
+				return
+			}
+			dropStream(id, st, true)
+			continue
+		}
+
+		if typ == msgStreamClose {
+			// Client abandoned the stream mid-session (its msgDone rides the
+			// close flag on the session's own goodbye instead).
+			dropStream(id, st, st.sess.started() || st.bytes > n)
+			continue
+		}
+		if typ == msgHello {
+			// The envelope's open flag already did the naming; a bare hello
+			// frame only exists as a stream's opening frame.
+			if st.sess.started() {
+				if werr := streamError(id, "hello after session start", ErrCodeRejected, 0); werr != nil {
+					return
+				}
+				dropStream(id, st, true)
+			}
+			continue
+		}
+		if typ == msgRound || typ == msgHelloV1 {
+			st.roundFrames++
+			if max := s.opt.sessionMaxRounds(); max > 0 && st.roundFrames > max {
+				if werr := streamError(id, "session round budget exceeded", ErrCodeRejected, 0); werr != nil {
+					return
+				}
+				dropStream(id, st, true)
+				continue
+			}
+		}
+
+		out, done, stepErr := st.sess.Step(typ, body)
+		if len(out) > 0 && stepErr == nil {
+			batch := getPayloadBuf()
+			b := (*batch)[:0]
+			for _, f := range out {
+				wireBody, compressed := muxCompressBody(f.Payload, lzOn)
+				var fl uint64
+				if compressed {
+					fl = muxFlagCompressed
+					s.bytesSaved.Add(int64(len(f.Payload) - len(wireBody)))
+				}
+				b = muxAppendFrame(b, id, fl, f.Type, wireBody)
+			}
+			werr := writeBatch(b)
+			*batch = b[:0]
+			putPayloadBuf(batch)
+			if werr != nil {
+				return
+			}
+			st.bytes += int64(len(b))
+			if budget := s.opt.sessionByteBudget(); budget > 0 && st.bytes > budget {
+				if werr := streamError(id, "session byte budget exceeded", ErrCodeRejected, 0); werr != nil {
+					return
+				}
+				dropStream(id, st, true)
+				continue
+			}
+		}
+		if stepErr != nil {
+			if werr := streamError(id, stepErr.Error(), ErrCodeRejected, 0); werr != nil {
+				return
+			}
+			dropStream(id, st, true)
+			continue
+		}
+		if done {
+			if st.sess.started() {
+				s.completed.Add(1)
+				s.rounds.Add(int64(st.sess.Rounds()))
+				hint := uint64(cur)
+				s.latencyHist.Record(hint, time.Since(st.start).Microseconds())
+				s.roundsHist.Record(hint, int64(st.sess.Rounds()))
+				s.bytesHist.Record(hint, st.bytes)
+			}
+			dropStream(id, st, false)
+		}
+
+		if idle > 0 && time.Since(lastSweep) >= idle/2 {
+			// Per-stream idleness: the connection-level read deadline only
+			// fires when every stream is silent, so streams that went quiet
+			// while siblings stay busy are swept here.
+			lastSweep = time.Now()
+			for sid, sst := range streams {
+				if time.Since(sst.lastActive) > idle {
+					if werr := streamError(sid, "stream idle timeout", ErrCodeRejected, 0); werr != nil {
+						return
+					}
+					dropStream(sid, sst, sst.sess.started() || sst.bytes > 0)
+				}
+			}
 		}
 	}
 }

@@ -111,6 +111,10 @@ type InitiatorSession struct {
 	haveDigest bool
 	peerDigest msethash.Digest
 
+	// features is the feature bitmap requested in a version-2 fast hello;
+	// zero keeps the hello at version 1 and the wire bytes legacy-identical.
+	features uint64
+
 	res *Result
 }
 
@@ -173,6 +177,15 @@ func (ss *SharedSet) newInitiatorSession(opt Options, onDelta func(elems []uint6
 // declines re-plans from the true d̂, exactly like the legacy flow but
 // one round trip earlier. opt's constraints match newInitiatorSession.
 func (ss *SharedSet) newFastInitiatorSession(opt Options, onDelta func(elems []uint64, round int), name string, specD uint64) (*InitiatorSession, []Frame, error) {
+	return ss.newFastInitiatorSessionFeatures(opt, onDelta, name, specD, 0)
+}
+
+// newFastInitiatorSessionFeatures is newFastInitiatorSession with a
+// protocol-feature request folded into the hello. A non-zero features
+// bitmap upgrades the hello to version 2 (want-flags in the existing flags
+// field — zero extra round trips); features == 0 produces a version-1
+// hello byte-identical to the pre-mux wire format.
+func (ss *SharedSet) newFastInitiatorSessionFeatures(opt Options, onDelta func(elems []uint64, round int), name string, specD uint64, features uint64) (*InitiatorSession, []Frame, error) {
 	if specD < 1 {
 		specD = 1
 	}
@@ -198,21 +211,27 @@ func (ss *SharedSet) newFastInitiatorSession(opt Options, onDelta func(elems []u
 		return nil, nil, fmt.Errorf("pbs: speculative plan produced no round")
 	}
 	est := encodeSketches(ss.towSketch())
+	version := uint64(fastProtoVersion)
+	if features != 0 {
+		version = fastProtoVersionMux
+	}
 	hello := appendFastHello(nil, fastHello{
-		version:    fastProtoVersion,
+		version:    version,
 		wantDigest: opt.StrongVerify,
+		features:   features,
 		name:       name,
 		specD:      specD,
 		sketches:   est,
 		round1:     round1,
 	})
 	s := &InitiatorSession{
-		opt:     opt,
-		shared:  ss,
-		onDelta: onDelta,
-		state:   initWantHelloReply,
-		alice:   alice,
-		plan:    plan,
+		opt:      opt,
+		shared:   ss,
+		onDelta:  onDelta,
+		state:    initWantHelloReply,
+		alice:    alice,
+		plan:     plan,
+		features: features,
 		// The hello envelope (version, flags, name, d_spec, sketch) is
 		// estimator overhead; the round-1 bytes are round traffic.
 		estBytes:      len(hello) - len(round1),
@@ -291,7 +310,22 @@ func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if err != nil {
 			return nil, false, err
 		}
-		if rep.version != fastProtoVersion {
+		switch rep.version {
+		case fastProtoVersion:
+			// A v1 reply to a v2 hello is the decline path: the peer speaks
+			// the fast flow but grants no features; the session proceeds
+			// exactly as v1.
+			if rep.features != 0 {
+				return nil, false, fmt.Errorf("pbs: version-1 reply carries feature grants %#x", rep.features)
+			}
+		case fastProtoVersionMux:
+			if s.features == 0 {
+				return nil, false, fmt.Errorf("pbs: peer selected protocol version %d without an offer", rep.version)
+			}
+			if rep.features&^s.features != 0 {
+				return nil, false, fmt.Errorf("pbs: peer granted unrequested features %#x", rep.features&^s.features)
+			}
+		default:
 			return nil, false, fmt.Errorf("pbs: peer selected unsupported protocol version %d", rep.version)
 		}
 		if max := s.opt.maxD(); rep.dhat > max {
@@ -530,7 +564,18 @@ type ResponderSession struct {
 	bob    *core.Bob
 	rounds int
 	closed bool
+
+	// allowFeatures is the feature bitmap this session may grant to a
+	// version-2 fast hello. Only the Server's connection loop sets it (it
+	// owns the demultiplexer a grant commits to); everywhere else the zero
+	// value declines every offer, which downgrades the reply to version 1.
+	allowFeatures uint64
+	granted       uint64
 }
+
+// grantedFeatures reports the feature bitmap granted to the initiator's
+// version-2 hello, or zero before the hello (or when nothing was granted).
+func (s *ResponderSession) grantedFeatures() uint64 { return s.granted }
 
 // NewResponderSession starts a standalone responder session for set. For
 // many concurrent sessions over one set, build a SharedSet once and use
@@ -590,7 +635,7 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if err != nil {
 			return nil, false, err
 		}
-		if h.version != fastProtoVersion {
+		if h.version != fastProtoVersion && h.version != fastProtoVersionMux {
 			// The resulting msgError is the negotiation signal: the
 			// initiator maps it to ErrFastSyncRejected and can retry with
 			// a protocol this responder speaks.
@@ -628,6 +673,22 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 			return nil, false, err
 		}
 		rep := fastHelloReply{version: fastProtoVersion, dhat: dhat}
+		if h.version == fastProtoVersionMux {
+			// Feature grant: the intersection of what the peer offered and
+			// what our driver allows (the Server sets allowFeatures on the
+			// connection loop's sessions; a bare Set.Respond leaves it zero,
+			// which declines every offer). Compression is only meaningful
+			// inside the mux envelope, so it is never granted alone.
+			granted := h.features & s.allowFeatures
+			if granted&featureMux == 0 {
+				granted = 0
+			}
+			if granted != 0 {
+				rep.version = fastProtoVersionMux
+				rep.features = granted
+				s.granted = granted
+			}
+		}
 		if accepted {
 			reply, err := bob.HandleRound(h.round1)
 			if err != nil {

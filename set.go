@@ -459,10 +459,17 @@ func (s *Set) syncAttempt(ctx context.Context, conn io.ReadWriter, cfg *setConfi
 	if err != nil {
 		return nil, err
 	}
+	// A negotiating mux stream asks to fold its feature offer into the
+	// fast hello; the offer only exists on the fast path, where the hello
+	// reply is the one frame that can carry the answer back.
+	var features uint64
+	if fr, ok := conn.(featureRequester); ok {
+		features = fr.muxFeatureRequest()
+	}
 	var res *Result
 	if cfg.fastSync {
 		spec := s.speculativeD(cfg.opt)
-		is, opening, err := ss.newFastInitiatorSession(cfg.opt, cfg.onDelta, cfg.setName, spec)
+		is, opening, err := ss.newFastInitiatorSessionFeatures(cfg.opt, cfg.onDelta, cfg.setName, spec, features)
 		if err != nil {
 			return nil, err
 		}
@@ -479,6 +486,9 @@ func (s *Set) syncAttempt(ctx context.Context, conn io.ReadWriter, cfg *setConfi
 			s.specAvoid.Store(spec)
 		}
 	} else {
+		if features != 0 {
+			return nil, errors.New("pbs: mux negotiation requires the fast-path sync (WithFastSync)")
+		}
 		is, opening := ss.newInitiatorSession(cfg.opt, cfg.onDelta)
 		if cfg.setName != "" {
 			opening = append([]Frame{{msgHello, []byte(cfg.setName)}}, opening...)

@@ -78,12 +78,28 @@ const (
 	msgError        // server -> client: session rejected or failed, payload = text
 	msgHelloV1      // fast initiator open: version + name + sketches + speculative round 1
 	msgHelloReplyV1 // fast responder answer: d̂ + optional round-1 reply + optional digest
+	msgStreamClose  // mux only: bare stream teardown without a session message
 )
 
 // fastProtoVersion is the wire-protocol version this build negotiates in
-// msgHelloV1. A responder replies with the version it selected (currently
-// always 1); initiators reject a reply version they do not speak.
-const fastProtoVersion = 1
+// msgHelloV1. A responder replies with the version it selected; initiators
+// reject a reply version they did not offer. Version 2 is version 1 plus
+// hello-time feature negotiation (mux, compression): a v2 hello carries
+// want-flags, and the responder answers with version 2 and grant-flags only
+// when it grants stream multiplexing — otherwise it replies version 1 and
+// the session proceeds exactly as the fast v1 flow.
+const (
+	fastProtoVersion    = 1
+	fastProtoVersionMux = 2
+)
+
+// Feature bits negotiated by a version-2 fast hello. LZ compression is
+// only ever granted together with mux — the compressed flag lives in the
+// per-frame mux envelope, so there is nowhere to signal it without one.
+const (
+	featureMux = 1 << 0 // multiplex N logical streams over the connection
+	featureLZ  = 1 << 1 // per-frame internal/lz payload compression
+)
 
 // ErrFastSyncRejected marks a fast-path msgHelloV1 open that the peer
 // answered with msgError instead of msgHelloReplyV1 — the signature of a
@@ -319,9 +335,13 @@ func decodeSketches(b []byte) ([]int64, error) {
 //	                 round-1 reply
 const (
 	fastHelloFlagWantDigest = 1 << 0 // initiator asks for the verify digest
+	fastHelloFlagWantMux    = 1 << 1 // v2: initiator offers stream multiplexing
+	fastHelloFlagWantLZ     = 1 << 2 // v2: initiator offers lz frame compression
 
 	fastReplyFlagAnswered = 1 << 0 // the speculative round was answered
 	fastReplyFlagDigest   = 1 << 1 // a verification digest is attached
+	fastReplyFlagMux      = 1 << 2 // v2: responder granted multiplexing
+	fastReplyFlagLZ       = 1 << 3 // v2: responder granted lz compression
 )
 
 // maxFastNameLen bounds the set name carried in a fast hello (the legacy
@@ -334,6 +354,7 @@ const maxFastNameLen = 1 << 10
 type fastHello struct {
 	version    uint64
 	wantDigest bool
+	features   uint64 // requested feature bits (featureMux | featureLZ), v2 only
 	name       string
 	specD      uint64 // speculative difference bound the round was sized for
 	sketches   []byte // encodeSketches form
@@ -345,6 +366,12 @@ func appendFastHello(dst []byte, h fastHello) []byte {
 	var flags uint64
 	if h.wantDigest {
 		flags |= fastHelloFlagWantDigest
+	}
+	if h.features&featureMux != 0 {
+		flags |= fastHelloFlagWantMux
+	}
+	if h.features&featureLZ != 0 {
+		flags |= fastHelloFlagWantLZ
 	}
 	dst = binary.AppendUvarint(dst, flags)
 	dst = binary.AppendUvarint(dst, uint64(len(h.name)))
@@ -386,6 +413,12 @@ func parseFastHello(b []byte) (h fastHello, err error) {
 		return fastHello{}, err
 	}
 	h.wantDigest = flags&fastHelloFlagWantDigest != 0
+	if flags&fastHelloFlagWantMux != 0 {
+		h.features |= featureMux
+	}
+	if flags&fastHelloFlagWantLZ != 0 {
+		h.features |= featureLZ
+	}
 	name, b, err := cutBytes(b, maxFastNameLen, "set name")
 	if err != nil {
 		return fastHello{}, err
@@ -416,6 +449,7 @@ func fastHelloSetName(b []byte) (string, error) {
 type fastHelloReply struct {
 	version    uint64
 	answered   bool
+	features   uint64 // granted feature bits, v2 only (subset of the request)
 	dhat       uint64 // true estimate from the piggybacked sketches
 	digest     []byte // nil, or the strong-verification digest
 	roundReply []byte // Bob's round-1 reply when answered
@@ -429,6 +463,12 @@ func appendFastHelloReply(dst []byte, r fastHelloReply) []byte {
 	}
 	if r.digest != nil {
 		flags |= fastReplyFlagDigest
+	}
+	if r.features&featureMux != 0 {
+		flags |= fastReplyFlagMux
+	}
+	if r.features&featureLZ != 0 {
+		flags |= fastReplyFlagLZ
 	}
 	dst = binary.AppendUvarint(dst, flags)
 	dst = binary.AppendUvarint(dst, r.dhat)
@@ -448,6 +488,12 @@ func parseFastHelloReply(b []byte) (r fastHelloReply, err error) {
 		return fastHelloReply{}, err
 	}
 	r.answered = flags&fastReplyFlagAnswered != 0
+	if flags&fastReplyFlagMux != 0 {
+		r.features |= featureMux
+	}
+	if flags&fastReplyFlagLZ != 0 {
+		r.features |= featureLZ
+	}
 	if r.dhat, b, err = cutUvarint(b, "d̂"); err != nil {
 		return fastHelloReply{}, err
 	}
