@@ -32,6 +32,11 @@ type Client struct {
 	// Set names the server-side set to reconcile against. Empty means the
 	// server's default set (DefaultSetName); no msgHello is sent.
 	Set string
+	// Tenant, when non-empty, namespaces Set under a tenant: the wire name
+	// becomes "Tenant/Set" ("Tenant/default" when Set is empty), which is
+	// how a multi-tenant server addresses sets and accounts quotas. Leave
+	// empty for unnamespaced (default-tenant) sets.
+	Tenant string
 	// Options is the protocol configuration; it must match the server's.
 	Options *Options
 	// DialTimeout bounds the TCP dial (default 10s).
@@ -90,8 +95,8 @@ func (c *Client) SyncContext(ctx context.Context, local []uint64) (*Result, erro
 	}
 	syncOnce := func(fast bool) (*Result, error) {
 		opts := []Option{WithIdleTimeout(idle), WithFastSync(fast)}
-		if c.Set != "" {
-			opts = append(opts, WithSetName(c.Set))
+		if name := c.remoteName(); name != "" {
+			opts = append(opts, WithSetName(name))
 		}
 		if c.Retry != nil {
 			pol := *c.Retry
@@ -117,6 +122,20 @@ func (c *Client) SyncContext(ctx context.Context, local []uint64) (*Result, erro
 		return syncOnce(false)
 	}
 	return res, err
+}
+
+// remoteName is the set name sent on the wire: Set, namespaced under
+// Tenant when one is configured. A tenant with no set name addresses the
+// tenant's own "default" set — distinct from the server-wide default.
+func (c *Client) remoteName() string {
+	if c.Tenant == "" {
+		return c.Set
+	}
+	set := c.Set
+	if set == "" {
+		set = DefaultSetName
+	}
+	return c.Tenant + "/" + set
 }
 
 // dial opens one TCP connection to the server under the context and the

@@ -22,6 +22,13 @@
 // workers' syncs as concurrent streams over one shared connection
 // (protocol version 2), so 500 workers with -mux 32 hold only 16 sockets;
 // -compress additionally offers lz frame compression during negotiation.
+//
+// -sets N switches to many-sets mode: every sync targets one of N hosted
+// catalog sets by name instead of the single default set, with -zipf s
+// skewing which sets stay hot. The server must host the same catalog:
+//
+//	pbs-serve   -addr :9931 -data-dir /var/pbs -host-sets 10000 -host-size 400
+//	pbs-loadgen -addr localhost:9931 -sets 10000 -size 400 -zipf 1.2 -verify
 package main
 
 import (
@@ -52,6 +59,9 @@ func main() {
 		diff  = flag.Int("diff", 100, "initial per-client difference |A△B| (server -demo-d)")
 		churn = flag.Int("churn", 0, "elements toggled through Add/Remove between syncs")
 		wseed = flag.Int64("workload-seed", 1, "workload seed (server -demo-seed)")
+
+		sets = flag.Int("sets", 0, "many-sets mode: sync against N hosted catalog sets (server -host-sets N, matching -host-size and seed)")
+		zipf = flag.Float64("zipf", 0, "skew many-sets access with a Zipf(s) index distribution, s > 1 (0 = uniform; requires -sets)")
 
 		rate       = flag.Float64("rate", 0, "open-loop target syncs/s across the fleet (0 = closed loop)")
 		reconnect  = flag.Bool("reconnect", false, "dial a fresh connection per sync instead of holding warm connections")
@@ -95,6 +105,8 @@ func main() {
 		DiffSize:       *diff,
 		Churn:          *churn,
 		Seed:           *wseed,
+		Sets:           *sets,
+		ZipfS:          *zipf,
 		Rate:           *rate,
 		Reconnect:      *reconnect,
 		MuxStreams:     *mux,
@@ -113,8 +125,13 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 
-	fmt.Printf("pbs-loadgen: %d workers against %s (|A|=%d, d=%d, churn=%d)...\n",
-		cfg.Workers, cfg.Addr, *size, *diff, *churn)
+	if cfg.Sets > 0 {
+		fmt.Printf("pbs-loadgen: %d workers against %s (%d sets, size=%d, d=%d, zipf=%g)...\n",
+			cfg.Workers, cfg.Addr, *sets, *size, *diff, *zipf)
+	} else {
+		fmt.Printf("pbs-loadgen: %d workers against %s (|A|=%d, d=%d, churn=%d)...\n",
+			cfg.Workers, cfg.Addr, *size, *diff, *churn)
+	}
 	rep, err := load.Run(ctx, cfg)
 	if rep != nil {
 		fmt.Println("pbs-loadgen:", rep)

@@ -18,6 +18,16 @@
 //
 //	pbs-serve -sync localhost:9931 -demo-size 100000 -demo-d 100 -demo-seed 1
 //
+// Hosting mode serves many named sets instead of (or next to) the single
+// default set: -data-dir persists hosted sets as segment files and lets
+// -max-resident-bytes evict cold sets to disk (they keep answering
+// estimates from their persisted sketch without loading), -tenant-quota
+// caps what each tenant namespace may register, and -host-sets N
+// populates a deterministic catalog for cmd/pbs-loadgen -sets runs:
+//
+//	pbs-serve -addr :9931 -data-dir /var/pbs -max-resident-bytes 64000000 \
+//	    -host-sets 10000 -host-size 400 -tenant-quota sets=100000,sessions=64
+//
 // Metrics: -metrics ADDR serves expvar on http://ADDR/debug/vars with the
 // server counters and the per-completed-session latency/round/byte
 // histograms published under "pbs_serve". A fleet to load the server with
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"pbs"
+	"pbs/internal/load"
 	"pbs/internal/workload"
 )
 
@@ -71,6 +82,12 @@ func main() {
 		maxRounds    = flag.Int("max-rounds", 0, "per-session round budget (0 = default, <0 = uncapped)")
 		maxStreams   = flag.Int("max-streams", 0, "per-connection mux stream cap (0 = default, <0 = decline mux negotiation)")
 		drain        = flag.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight sessions")
+
+		dataDir     = flag.String("data-dir", "", "persist hosted sets as segment files under this directory (enables crash-safe hosting and eviction)")
+		maxResident = flag.Int64("max-resident-bytes", 0, "resident-bytes watermark above which cold hosted sets are evicted to disk (0 = keep everything resident; requires -data-dir to evict)")
+		tenantQuota = flag.String("tenant-quota", "", "default per-tenant quota as 'sets=N,bytes=N,sessions=N' (0 or absent key = unlimited)")
+		hostSets    = flag.Int("host-sets", 0, "host a synthetic catalog of N named sets (workload.ManySet of -demo-seed, names bench/s000000...) for many-sets load runs")
+		hostSize    = flag.Int("host-size", 400, "elements per hosted catalog set (loadgen -size must match)")
 	)
 	flag.Parse()
 
@@ -81,17 +98,28 @@ func main() {
 		return
 	}
 
-	elems, _, err := loadSet(*setPath, *demoSize, *demoD, *demoSeed, false)
+	quota, err := parseQuota(*tenantQuota)
 	if err != nil {
 		fatal(err)
 	}
-	// The served catalog is a live pbs.Set: validated once, estimator
-	// sketch maintained incrementally, and mutable while serving (a
-	// reloaded catalog would land with Add/Remove; new sessions pick it
-	// up, in-flight sessions keep the view they started with).
-	set, err := pbs.NewSet(elems, pbs.WithOptions(*opt))
-	if err != nil {
-		fatal(err)
+	hosting := *dataDir != "" || *hostSets > 0
+
+	// A hosting server needs no default set; a classic one still requires
+	// -set or -demo-size. The served catalog (when present) is a live
+	// pbs.Set: validated once, estimator sketch maintained incrementally,
+	// and mutable while serving (a reloaded catalog would land with
+	// Add/Remove; new sessions pick it up, in-flight sessions keep the
+	// view they started with).
+	var set *pbs.Set
+	if !hosting || *setPath != "" || *demoSize > 0 {
+		elems, _, err := loadSet(*setPath, *demoSize, *demoD, *demoSeed, false)
+		if err != nil {
+			fatal(err)
+		}
+		set, err = pbs.NewSet(elems, pbs.WithOptions(*opt))
+		if err != nil {
+			fatal(err)
+		}
 	}
 	srv := pbs.NewServer(pbs.ServerOptions{
 		Protocol:             opt,
@@ -102,9 +130,27 @@ func main() {
 		SessionByteBudget:    *byteBudget,
 		SessionMaxRounds:     *maxRounds,
 		MaxStreams:           *maxStreams,
+		DataDir:              *dataDir,
+		MaxResidentBytes:     *maxResident,
+		TenantQuota:          quota,
 	})
-	if err := srv.RegisterSet(*setName, set); err != nil {
-		fatal(err)
+	if set != nil {
+		if err := srv.RegisterSet(*setName, set); err != nil {
+			fatal(err)
+		}
+	}
+	recovered := 0
+	if *dataDir != "" {
+		if recovered, err = srv.EnableHosting(); err != nil {
+			fatal(err)
+		}
+	}
+	if *hostSets > 0 {
+		for i := 0; i < *hostSets; i++ {
+			if err := srv.Host(load.ManySetName(i), workload.ManySet(*demoSeed, i, *hostSize)); err != nil {
+				fatal(fmt.Errorf("hosting catalog set %d: %w", i, err))
+			}
+		}
 	}
 
 	if *metrics != "" {
@@ -127,7 +173,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("pbs-serve: serving %d elements as %q on %s\n", set.Len(), *setName, ln.Addr())
+	// Exactly one startup line carries the "serving ... on ADDR" suffix —
+	// scripts parse the bound address off its end.
+	if set != nil {
+		fmt.Printf("pbs-serve: serving %d elements as %q on %s\n", set.Len(), *setName, ln.Addr())
+	} else {
+		fmt.Printf("pbs-serve: serving %d hosted sets on %s\n", srv.Stats().SetsHosted, ln.Addr())
+	}
+	if hosting {
+		st := srv.Stats()
+		fmt.Printf("pbs-serve: hosting %d sets (%d recovered, %d resident, %d B resident, cap %d B, dir %q)\n",
+			st.SetsHosted, recovered, st.SetsResident, st.ResidentBytes, *maxResident, *dataDir)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
@@ -151,6 +208,40 @@ func main() {
 		st.Completed, st.Failed, st.Rejected, st.Rounds, st.BytesIn, st.BytesOut,
 		st.LatencyUS.P50/1e3, st.LatencyUS.P95/1e3, st.LatencyUS.P99/1e3,
 		float64(st.LatencyUS.Max)/1e3)
+	if hosting {
+		fmt.Printf("pbs-serve: hosted: %d sets, %d resident, %d cold loads, %d evictions, %d merges, %d quota rejections\n",
+			st.SetsHosted, st.SetsResident, st.ColdLoads, st.Evictions, st.SegmentMerges, st.QuotaRejections)
+	}
+}
+
+// parseQuota parses the -tenant-quota spec 'sets=N,bytes=N,sessions=N'
+// (any subset of keys; 0 or absent = unlimited on that axis).
+func parseQuota(spec string) (pbs.TenantQuota, error) {
+	var q pbs.TenantQuota
+	if spec == "" {
+		return q, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return q, fmt.Errorf("-tenant-quota: %q is not key=value", kv)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("-tenant-quota: bad value in %q", kv)
+		}
+		switch k {
+		case "sets":
+			q.MaxSets = n
+		case "bytes":
+			q.MaxBytes = n
+		case "sessions":
+			q.MaxSessions = n
+		default:
+			return q, fmt.Errorf("-tenant-quota: unknown key %q (want sets, bytes, sessions)", k)
+		}
+	}
+	return q, nil
 }
 
 // runClient syncs the local set (from -set or workload side A) against a

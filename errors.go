@@ -23,11 +23,20 @@ const (
 	// ErrCodeRejected marks a protocol-level rejection (validation
 	// failure, budget exhaustion, malformed frames). Not retryable.
 	ErrCodeRejected = "rejected"
+	// ErrCodeQuota marks a per-tenant quota rejection. Session-quota
+	// rejections carry a retry-after hint (slots free as sessions drain)
+	// and are retryable; quota rejections without a hint (set or byte
+	// quotas, which only clear when the tenant removes data) are not.
+	ErrCodeQuota = "quota"
 )
 
 // ErrServerBusy is reported (via errors.Is) when the peer shed the
 // connection for load reasons and a later retry may succeed.
 var ErrServerBusy = errors.New("pbs: server busy")
+
+// ErrQuotaExceeded is reported (via errors.Is) when the peer rejected the
+// session because the tenant is over one of its quotas.
+var ErrQuotaExceeded = errors.New("pbs: tenant quota exceeded")
 
 const (
 	// maxPeerErrLen bounds how much of a peer-supplied error message is
@@ -50,9 +59,16 @@ type PeerError struct {
 
 func (e *PeerError) Error() string { return "pbs: peer error: " + e.Msg }
 
-// Is makes errors.Is(err, ErrServerBusy) match busy-coded peer errors.
+// Is makes errors.Is(err, ErrServerBusy) match busy-coded peer errors and
+// errors.Is(err, ErrQuotaExceeded) match quota-coded ones.
 func (e *PeerError) Is(target error) bool {
-	return target == ErrServerBusy && e.Code == ErrCodeBusy
+	switch target {
+	case ErrServerBusy:
+		return e.Code == ErrCodeBusy
+	case ErrQuotaExceeded:
+		return e.Code == ErrCodeQuota
+	}
+	return false
 }
 
 // appendErrCode encodes a structured code (and optional retry-after hint)
@@ -170,7 +186,11 @@ func Retryable(err error) bool {
 	}
 	var pe *PeerError
 	if errors.As(err, &pe) {
-		return pe.Code == ErrCodeBusy
+		// Quota rejections are retryable only when the server attached a
+		// retry-after hint — it does so for session quotas (slots free as
+		// the tenant's sessions drain) but not for set/byte quotas, which
+		// stay exhausted until the tenant removes data.
+		return pe.Code == ErrCodeBusy || (pe.Code == ErrCodeQuota && pe.RetryAfter > 0)
 	}
 	var ne net.Error
 	if errors.As(err, &ne) {

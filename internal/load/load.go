@@ -64,6 +64,21 @@ type Config struct {
 	// (pbs-serve -demo-seed) for the sets to actually differ by DiffSize.
 	Seed int64
 
+	// Sets, when > 0, switches the run to many-sets mode: instead of every
+	// worker syncing one default set, each sync targets a named hosted set
+	// drawn from a catalog of Sets deterministic sets (workload.ManySet,
+	// named by ManySetName). The server must host the same catalog
+	// (pbs-serve -host-sets with a matching -demo-seed and a -host-size
+	// equal to SetSize). The client side holds the set minus its first
+	// DiffSize elements, so every sync reconciles exactly DiffSize
+	// elements. Incompatible with SetName and Churn.
+	Sets int
+	// ZipfS skews the many-sets access pattern: set indexes are drawn from
+	// a Zipf distribution with parameter s (> 1), so a few sets stay hot
+	// while the long tail goes cold — the access shape that exercises the
+	// server's residency/eviction machinery. 0 selects uniform access.
+	ZipfS float64
+
 	// Rate is the open-loop target arrival rate in syncs/s across all
 	// workers; 0 selects closed-loop (every worker syncs back to back).
 	Rate float64
@@ -147,11 +162,28 @@ func (c Config) validate() error {
 		return fmt.Errorf("load: mux negotiation requires the fast-path sync")
 	case c.Compress && c.MuxStreams <= 1:
 		return fmt.Errorf("load: compression is negotiated per mux connection; set MuxStreams > 1")
+	case c.Sets < 0:
+		return fmt.Errorf("load: negative set count")
+	case c.Sets > 0 && c.SetName != "":
+		return fmt.Errorf("load: many-sets mode names its own sets; SetName contradicts it")
+	case c.Sets > 0 && c.Churn > 0:
+		return fmt.Errorf("load: many-sets mode rebuilds the set per sync; churn contradicts it")
+	case c.ZipfS != 0 && c.Sets == 0:
+		return fmt.Errorf("load: zipf skew requires many-sets mode (Sets > 0)")
+	case c.ZipfS != 0 && c.ZipfS <= 1:
+		return fmt.Errorf("load: zipf parameter must exceed 1 (got %g)", c.ZipfS)
 	}
 	if err := c.Chaos.Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// ManySetName returns the registry name of set idx in a many-sets run.
+// pbs-serve -host-sets registers the same names, so a loadgen fleet and a
+// server agree on the catalog by construction.
+func ManySetName(idx int) string {
+	return fmt.Sprintf("bench/s%06d", idx)
 }
 
 // LatencySummary digests the client-observed sync latency distribution,
@@ -177,6 +209,8 @@ type Report struct {
 	FastSync   bool    `json:"fast_sync"`             // single-RTT fast path in use
 	MuxStreams int     `json:"mux_streams,omitempty"` // streams per shared connection (0 = unmuxed)
 	MuxConns   int     `json:"mux_conns,omitempty"`   // shared connections the muxed fleet rides
+	Sets       int     `json:"sets,omitempty"`        // many-sets catalog size (0 = single-set mode)
+	ZipfS      float64 `json:"zipf_s,omitempty"`      // many-sets access skew (0 = uniform)
 
 	DurationSec  float64        `json:"duration_sec"`
 	Syncs        int64          `json:"syncs"`
@@ -299,6 +333,9 @@ type worker struct {
 	parked []uint64 // currently-removed churn elements
 	expect map[uint64]struct{}
 
+	zipf    *rand.Zipf // many-sets skewed index source (nil = uniform)
+	curName string     // many-sets: registry name of the set this sync targets
+
 	dials uint64 // connections opened, keys the per-conn chaos seed
 
 	syncs   atomic.Int64
@@ -337,11 +374,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	pair, err := workload.Generate(workload.Config{
-		UniverseBits: 32, SizeA: cfg.SetSize, D: cfg.DiffSize, Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
+	var pair *workload.Pair
+	if cfg.Sets == 0 {
+		var err error
+		pair, err = workload.Generate(workload.Config{
+			UniverseBits: 32, SizeA: cfg.SetSize, D: cfg.DiffSize, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	var groups []*muxGroup
@@ -359,24 +400,32 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
-		set, err := pbs.NewSet(pair.A, baseOption(cfg.Options))
-		if err != nil {
-			return nil, err
-		}
 		w := &worker{
-			id:    i,
-			cfg:   &cfg,
-			set:   set,
-			rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(i)*0x9E3779B97F4A7C15))),
-			elems: append([]uint64(nil), pair.A...),
+			id:  i,
+			cfg: &cfg,
+			rng: rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(i)*0x9E3779B97F4A7C15))),
 		}
 		if groups != nil {
 			w.group = groups[i/cfg.MuxStreams]
 		}
-		if cfg.Verify {
-			w.expect = make(map[uint64]struct{}, len(pair.Diff))
-			for _, x := range pair.Diff {
-				w.expect[x] = struct{}{}
+		if cfg.Sets > 0 {
+			// Many-sets mode: the worker builds a fresh set per sync in
+			// pickSet; here it only needs its index distribution.
+			if cfg.ZipfS > 1 {
+				w.zipf = rand.NewZipf(w.rng, cfg.ZipfS, 1, uint64(cfg.Sets-1))
+			}
+		} else {
+			set, err := pbs.NewSet(pair.A, baseOption(cfg.Options))
+			if err != nil {
+				return nil, err
+			}
+			w.set = set
+			w.elems = append([]uint64(nil), pair.A...)
+			if cfg.Verify {
+				w.expect = make(map[uint64]struct{}, len(pair.Diff))
+				for _, x := range pair.Diff {
+					w.expect[x] = struct{}{}
+				}
 			}
 		}
 		workers[i] = w
@@ -452,7 +501,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					case <-tokens:
 					}
 				}
-				if n > 0 {
+				if cfg.Sets > 0 {
+					if err := w.pickSet(); err != nil {
+						w.errs.Add(1)
+						recordErr(fmt.Errorf("worker %d sync %d: %w", w.id, n, err))
+						return
+					}
+				} else if n > 0 {
 					w.churn()
 				}
 				// Syncs run under the caller's context, not the run
@@ -522,6 +577,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.MuxStreams = cfg.MuxStreams
 		rep.MuxConns = len(groups)
 	}
+	rep.Sets = cfg.Sets
+	rep.ZipfS = cfg.ZipfS
 	rep.Chaos = cfg.Chaos.Enabled()
 	rep.Unreconciled = unreconciled.Load()
 	for _, w := range workers {
@@ -559,6 +616,46 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// pickSet points the worker at the next catalog set for a many-sets
+// sync: it draws an index (zipf-skewed or uniform), rebuilds the local
+// set as the catalog set minus its first DiffSize elements, and tracks
+// those withheld elements as the exact expected difference. The rebuild
+// is the per-sync client cost of hosting-scale runs — it models a fresh
+// client arriving for a set, which is exactly the access pattern that
+// drives the server's cold-load and eviction machinery.
+func (w *worker) pickSet() error {
+	cfg := w.cfg
+	var idx int
+	if w.zipf != nil {
+		idx = int(w.zipf.Uint64())
+	} else {
+		idx = w.rng.Intn(cfg.Sets)
+	}
+	full := workload.ManySet(cfg.Seed, idx, cfg.SetSize)
+	set, err := pbs.NewSet(full[cfg.DiffSize:], baseOption(cfg.Options))
+	if err != nil {
+		return err
+	}
+	w.set = set
+	w.curName = ManySetName(idx)
+	if cfg.Verify {
+		w.expect = make(map[uint64]struct{}, cfg.DiffSize)
+		for _, x := range full[:cfg.DiffSize] {
+			w.expect[x] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// setName resolves the registry name this worker's next sync addresses:
+// the per-sync catalog name in many-sets mode, else the configured one.
+func (w *worker) setName() string {
+	if w.cfg.Sets > 0 {
+		return w.curName
+	}
+	return w.cfg.SetName
+}
+
 // sync runs one reconciliation, dialing if the worker holds no connection
 // (or redials every time under Reconnect). A failure on a *reused* warm
 // connection gets one transparent retry on a fresh one: a server is
@@ -571,8 +668,8 @@ func (w *worker) sync(ctx context.Context, latency *hist.Histogram, bytesR, byte
 	syncCtx, cancel := context.WithTimeout(ctx, cfg.SyncTimeout)
 	defer cancel()
 	opts := []pbs.Option{pbs.WithFastSync(!cfg.LegacySync)}
-	if cfg.SetName != "" {
-		opts = append(opts, pbs.WithSetName(cfg.SetName))
+	if name := w.setName(); name != "" {
+		opts = append(opts, pbs.WithSetName(name))
 	}
 	if w.group != nil {
 		return w.syncMux(ctx, syncCtx, opts, latency, bytesR, bytesW)
@@ -687,8 +784,8 @@ func (w *worker) converge(ctx context.Context, bytesR, bytesW *atomic.Int64) err
 	ctx, cancel := context.WithTimeout(ctx, w.cfg.SyncTimeout)
 	defer cancel()
 	opts := []pbs.Option{pbs.WithFastSync(!w.cfg.LegacySync)}
-	if w.cfg.SetName != "" {
-		opts = append(opts, pbs.WithSetName(w.cfg.SetName))
+	if name := w.setName(); name != "" {
+		opts = append(opts, pbs.WithSetName(name))
 	}
 	pol := pbs.RetryPolicy{
 		MaxAttempts: 6,
@@ -829,9 +926,17 @@ func (r *Report) String() string {
 	if r.MuxStreams > 1 {
 		conn = fmt.Sprintf("mux %d streams/conn over %d conns", r.MuxStreams, r.MuxConns)
 	}
+	shape := fmt.Sprintf("|A|=%d d=%d churn=%d", r.SetSize, r.DiffSize, r.Churn)
+	if r.Sets > 0 {
+		dist := "uniform"
+		if r.ZipfS > 0 {
+			dist = fmt.Sprintf("zipf s=%g", r.ZipfS)
+		}
+		shape = fmt.Sprintf("%d sets (%s) size=%d d=%d", r.Sets, dist, r.SetSize, r.DiffSize)
+	}
 	s := fmt.Sprintf(
-		"%d workers (%s, %s), |A|=%d d=%d churn=%d: %d syncs (%d errors) in %.2fs = %.1f syncs/s, %.2f MB/s; latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
-		r.Workers, mode, conn, r.SetSize, r.DiffSize, r.Churn,
+		"%d workers (%s, %s), %s: %d syncs (%d errors) in %.2fs = %.1f syncs/s, %.2f MB/s; latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		r.Workers, mode, conn, shape,
 		r.Syncs, r.Errors, r.DurationSec, r.SyncsPerSec,
 		r.BytesPerSec/1e6,
 		r.LatencyUS.P50/1e3, r.LatencyUS.P95/1e3, r.LatencyUS.P99/1e3,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pbs"
+	"pbs/internal/workload"
 )
 
 // startServer serves the B side of cfg's workload on a loopback listener
@@ -326,5 +327,94 @@ func TestRunRetriesIdleDroppedWarmConn(t *testing.T) {
 	st := waitStats(t, srv, want)
 	if st.Completed != want {
 		t.Fatalf("server completed %d, want %d", st.Completed, want)
+	}
+}
+
+// TestManySetsRun drives the many-sets mode end to end against a hosting
+// server with a resident cap small enough to force evictions: 30 hosted
+// sets, a fleet syncing random (zipf-skewed) catalog entries with
+// verification on, and every sync must reconcile exactly DiffSize
+// elements even when the target set is cold.
+func TestManySetsRun(t *testing.T) {
+	opt := &pbs.Options{Seed: 17}
+	cfg := Config{
+		Workers:        8,
+		SyncsPerWorker: 6,
+		SetSize:        400,
+		DiffSize:       12,
+		Seed:           9,
+		Sets:           30,
+		ZipfS:          1.3,
+		Verify:         true,
+		Options:        opt,
+	}
+	srv := pbs.NewServer(pbs.ServerOptions{
+		Protocol:         opt,
+		DataDir:          t.TempDir(),
+		MaxResidentBytes: 20_000, // ~5 of 30 sets resident
+	})
+	if _, err := srv.EnableHosting(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Sets; i++ {
+		if err := srv.Host(ManySetName(i), workload.ManySet(cfg.Seed, i, cfg.SetSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	cfg.Addr = ln.Addr().String()
+
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d sync errors, first: %s", rep.Errors, rep.FirstError)
+	}
+	if want := int64(cfg.Workers * cfg.SyncsPerWorker); rep.Syncs != want {
+		t.Fatalf("syncs = %d, want %d", rep.Syncs, want)
+	}
+	if want := rep.Syncs * int64(cfg.DiffSize); rep.DiffElements != want {
+		t.Fatalf("diff elements = %d, want %d", rep.DiffElements, want)
+	}
+	st := srv.Stats()
+	if st.SetsHosted != int64(cfg.Sets) {
+		t.Fatalf("SetsHosted = %d, want %d", st.SetsHosted, cfg.Sets)
+	}
+	if st.Evictions == 0 || st.ColdLoads == 0 {
+		t.Fatalf("eviction machinery idle: evictions=%d coldLoads=%d", st.Evictions, st.ColdLoads)
+	}
+	if st.ResidentBytes > 20_000+int64(cfg.SetSize*8+256) {
+		t.Fatalf("resident bytes %d far above cap", st.ResidentBytes)
+	}
+}
+
+// TestManySetsValidate pins the config rules of many-sets mode.
+func TestManySetsValidate(t *testing.T) {
+	base := Config{Addr: "x", Sets: 10}
+	for _, bad := range []Config{
+		{Addr: "x", Sets: -1},
+		{Addr: "x", Sets: 10, SetName: "named"},
+		{Addr: "x", Sets: 10, Churn: 5},
+		{Addr: "x", ZipfS: 1.5},
+		{Addr: "x", Sets: 10, ZipfS: 0.9},
+	} {
+		if err := bad.withDefaults().validate(); err == nil {
+			t.Errorf("config %+v validated; want error", bad)
+		}
+	}
+	if err := base.withDefaults().validate(); err != nil {
+		t.Errorf("base many-sets config rejected: %v", err)
 	}
 }

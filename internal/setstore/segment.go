@@ -1,0 +1,287 @@
+// Package setstore is the persistent layer behind the Server's hosted
+// sets: an LSM-flavoured store of sorted immutable segment files, one
+// chain per set, in the spirit of VictoriaMetrics lib/mergeset (immutable
+// parts, background merges, an in-memory head owned by the caller).
+//
+// Each segment carries the set's delta since the previous segment (or the
+// full element list, for full segments) in the body, and — crucially — a
+// footer with the *cumulative* reconciliation metadata as of that segment:
+// element count, ToW sketch vector, and msethash digest. The footer is
+// readable without touching the body, so an evicted set can answer a
+// difference estimate from a single small tail read, paging the elements
+// in only when a real delta must be decoded.
+//
+// On-disk layout (all integers varint unless noted):
+//
+//	body:   uvarint(#adds)  adds as delta varints (sorted, strictly increasing)
+//	        uvarint(#dels)  dels as delta varints
+//	footer: uvarint(flags)  bit0 = full rewrite (body adds are the whole set)
+//	        uvarint(count)  cumulative set size after applying this segment
+//	        uvarint(sketch seed)
+//	        uvarint(sketch len l), l zigzag varints (cumulative ToW sketch)
+//	        uvarint(digest len), digest bytes (cumulative msethash digest)
+//	tail:   u32le footerLen | u32le bodyCRC | u32le footerCRC | "PBSSEG01"
+//
+// The fixed 20-byte tail at the end of the file is what makes footer-only
+// reads possible; CRC32-C over body and footer separately means a
+// footer-only read still validates everything it consumed.
+package setstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// segMagic terminates every segment file. Bump the trailing digits on any
+// incompatible format change.
+const segMagic = "PBSSEG01"
+
+// tailLen is the fixed byte length of the segment tail.
+const tailLen = 4 + 4 + 4 + len(segMagic)
+
+// flagFull marks a full-rewrite segment: its adds are the complete set and
+// replay ignores everything older.
+const flagFull = 1
+
+// maxSegmentElems bounds the element counts a decoder will allocate for,
+// guarding header-claims-huge-count attacks from corrupt or fuzzed input.
+// 1<<27 × 8 bytes = 1 GiB of uint64s, far above any real segment.
+const maxSegmentElems = 1 << 27
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta is the cumulative reconciliation metadata persisted in a segment
+// footer: everything a responder needs to answer an estimate (and a strong
+// verification) for the set without its elements.
+type Meta struct {
+	Full       bool
+	Count      uint64
+	SketchSeed uint64
+	Sketch     []int64
+	Digest     []byte
+}
+
+// Segment is one decoded segment file.
+type Segment struct {
+	Adds []uint64 // sorted; the full set when Meta.Full
+	Dels []uint64 // sorted; always empty when Meta.Full
+	Meta Meta
+}
+
+// appendElems delta-encodes a sorted, duplicate-free element slice.
+func appendElems(dst []byte, elems []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(elems)))
+	prev := uint64(0)
+	for i, e := range elems {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, e)
+		} else {
+			dst = binary.AppendUvarint(dst, e-prev)
+		}
+		prev = e
+	}
+	return dst
+}
+
+// AppendSegment encodes seg to dst and returns the extended slice. Adds
+// and Dels must be sorted ascending without duplicates (EncodeSegment's
+// callers sort copies; this is the raw layer).
+func AppendSegment(dst []byte, seg *Segment) []byte {
+	bodyStart := len(dst)
+	dst = appendElems(dst, seg.Adds)
+	dst = appendElems(dst, seg.Dels)
+	bodyCRC := crc32.Checksum(dst[bodyStart:], castagnoli)
+
+	footerStart := len(dst)
+	flags := uint64(0)
+	if seg.Meta.Full {
+		flags |= flagFull
+	}
+	dst = binary.AppendUvarint(dst, flags)
+	dst = binary.AppendUvarint(dst, seg.Meta.Count)
+	dst = binary.AppendUvarint(dst, seg.Meta.SketchSeed)
+	dst = binary.AppendUvarint(dst, uint64(len(seg.Meta.Sketch)))
+	for _, v := range seg.Meta.Sketch {
+		dst = binary.AppendVarint(dst, v)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(seg.Meta.Digest)))
+	dst = append(dst, seg.Meta.Digest...)
+	footerCRC := crc32.Checksum(dst[footerStart:], castagnoli)
+
+	var tail [tailLen]byte
+	binary.LittleEndian.PutUint32(tail[0:], uint32(len(dst)-footerStart))
+	binary.LittleEndian.PutUint32(tail[4:], bodyCRC)
+	binary.LittleEndian.PutUint32(tail[8:], footerCRC)
+	copy(tail[12:], segMagic)
+	return append(dst, tail[:]...)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("setstore: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("setstore: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) elems(what string) ([]uint64, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSegmentElems {
+		return nil, fmt.Errorf("setstore: segment claims %d %s", n, what)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, n)
+	prev := uint64(0)
+	for i := range out {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			out[i] = v
+		} else {
+			if v == 0 {
+				return nil, fmt.Errorf("setstore: non-increasing %s at index %d", what, i)
+			}
+			next := prev + v
+			if next < prev {
+				return nil, fmt.Errorf("setstore: %s overflow at index %d", what, i)
+			}
+			out[i] = next
+		}
+		prev = out[i]
+	}
+	return out, nil
+}
+
+// splitSegment validates the tail and CRCs of a raw segment file and
+// returns its body and footer slices.
+func splitSegment(data []byte, wantBody bool) (body, footer []byte, err error) {
+	if len(data) < tailLen {
+		return nil, nil, fmt.Errorf("setstore: segment too short (%d bytes)", len(data))
+	}
+	tail := data[len(data)-tailLen:]
+	if string(tail[12:]) != segMagic {
+		return nil, nil, fmt.Errorf("setstore: bad segment magic")
+	}
+	footerLen := int(binary.LittleEndian.Uint32(tail[0:]))
+	if footerLen < 0 || footerLen > len(data)-tailLen {
+		return nil, nil, fmt.Errorf("setstore: footer length %d out of range", footerLen)
+	}
+	footer = data[len(data)-tailLen-footerLen : len(data)-tailLen]
+	if crc32.Checksum(footer, castagnoli) != binary.LittleEndian.Uint32(tail[8:]) {
+		return nil, nil, fmt.Errorf("setstore: footer checksum mismatch")
+	}
+	body = data[:len(data)-tailLen-footerLen]
+	if wantBody {
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail[4:]) {
+			return nil, nil, fmt.Errorf("setstore: body checksum mismatch")
+		}
+	}
+	return body, footer, nil
+}
+
+func decodeFooter(footer []byte) (Meta, error) {
+	d := &decoder{b: footer}
+	var m Meta
+	flags, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	m.Full = flags&flagFull != 0
+	if m.Count, err = d.uvarint(); err != nil {
+		return m, err
+	}
+	if m.SketchSeed, err = d.uvarint(); err != nil {
+		return m, err
+	}
+	l, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	if l > 1<<16 {
+		return m, fmt.Errorf("setstore: sketch length %d out of range", l)
+	}
+	m.Sketch = make([]int64, l)
+	for i := range m.Sketch {
+		if m.Sketch[i], err = d.varint(); err != nil {
+			return m, err
+		}
+	}
+	dl, err := d.uvarint()
+	if err != nil {
+		return m, err
+	}
+	if dl > 1<<12 || int(dl) > len(footer)-d.off {
+		return m, fmt.Errorf("setstore: digest length %d out of range", dl)
+	}
+	m.Digest = append([]byte(nil), footer[d.off:d.off+int(dl)]...)
+	d.off += int(dl)
+	if d.off != len(footer) {
+		return m, fmt.Errorf("setstore: %d trailing footer bytes", len(footer)-d.off)
+	}
+	return m, nil
+}
+
+// DecodeMeta parses only the footer of a raw segment file, skipping the
+// body entirely (and skipping its checksum: the body bytes are never
+// consumed). This is the cheap path behind estimate-without-elements.
+func DecodeMeta(data []byte) (Meta, error) {
+	_, footer, err := splitSegment(data, false)
+	if err != nil {
+		return Meta{}, err
+	}
+	return decodeFooter(footer)
+}
+
+// DecodeSegment fully parses and validates a raw segment file.
+func DecodeSegment(data []byte) (*Segment, error) {
+	body, footer, err := splitSegment(data, true)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeFooter(footer)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: body}
+	adds, err := d.elems("adds")
+	if err != nil {
+		return nil, err
+	}
+	dels, err := d.elems("dels")
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("setstore: %d trailing body bytes", len(body)-d.off)
+	}
+	if meta.Full && len(dels) > 0 {
+		return nil, fmt.Errorf("setstore: full segment carries %d deletes", len(dels))
+	}
+	if meta.Full && uint64(len(adds)) != meta.Count {
+		return nil, fmt.Errorf("setstore: full segment has %d elements, footer says %d", len(adds), meta.Count)
+	}
+	return &Segment{Adds: adds, Dels: dels, Meta: meta}, nil
+}

@@ -1,0 +1,340 @@
+package setstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+)
+
+func testMeta(elems []uint64) Meta {
+	// A stand-in for the real ToW/msethash metadata: tests only need the
+	// footer to round-trip byte-exactly, not to be a real sketch.
+	sketch := make([]int64, 8)
+	var dig [16]byte
+	for _, e := range elems {
+		sketch[e%8] += int64(e%3) - 1
+		dig[e%16] ^= byte(e)
+	}
+	return Meta{Count: uint64(len(elems)), SketchSeed: 0xabc, Sketch: sketch, Digest: dig[:]}
+}
+
+func seqElems(n int, stride uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)*stride + 7
+	}
+	return out
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 1000} {
+		elems := seqElems(n, 1<<33)
+		seg := &Segment{Adds: elems, Meta: testMeta(elems)}
+		seg.Meta.Full = true
+		data := AppendSegment(nil, seg)
+
+		got, err := DecodeSegment(data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !slices.Equal(got.Adds, elems) || len(got.Dels) != 0 {
+			t.Fatalf("n=%d: element mismatch", n)
+		}
+		if !slices.Equal(got.Meta.Sketch, seg.Meta.Sketch) || !bytes.Equal(got.Meta.Digest, seg.Meta.Digest) {
+			t.Fatalf("n=%d: meta mismatch", n)
+		}
+		if got.Meta.Count != uint64(n) || !got.Meta.Full || got.Meta.SketchSeed != 0xabc {
+			t.Fatalf("n=%d: footer fields mismatch: %+v", n, got.Meta)
+		}
+
+		meta, err := DecodeMeta(data)
+		if err != nil {
+			t.Fatalf("DecodeMeta n=%d: %v", n, err)
+		}
+		if !slices.Equal(meta.Sketch, seg.Meta.Sketch) || !bytes.Equal(meta.Digest, seg.Meta.Digest) {
+			t.Fatalf("n=%d: DecodeMeta mismatch", n)
+		}
+	}
+}
+
+func TestSegmentCorruptionRejected(t *testing.T) {
+	elems := seqElems(100, 3)
+	seg := &Segment{Adds: elems, Meta: testMeta(elems)}
+	seg.Meta.Full = true
+	data := AppendSegment(nil, seg)
+
+	// Every truncation must fail, never panic or succeed.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeSegment(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Any single bit flip must fail (CRCs cover body and footer; the tail
+	// fields are cross-checked against both).
+	for i := 0; i < len(data); i++ {
+		corrupt := slices.Clone(data)
+		corrupt[i] ^= 0x10
+		if _, err := DecodeSegment(corrupt); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestStoreFlushLoad(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	elems := seqElems(500, 977)
+	meta := testMeta(elems)
+	if err := s.AppendFull("acme/users", elems, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gotMeta, err := s.Load("acme/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := slices.Clone(elems)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("loaded elements differ")
+	}
+	if !slices.Equal(gotMeta.Sketch, meta.Sketch) || !bytes.Equal(gotMeta.Digest, meta.Digest) {
+		t.Fatal("loaded meta differs")
+	}
+
+	// Footer-only read agrees.
+	m2, err := s.Meta("acme/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(m2.Sketch, meta.Sketch) || m2.Count != meta.Count {
+		t.Fatal("Meta() differs from flushed meta")
+	}
+}
+
+func TestStoreDeltaReplayAndMerge(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	base := seqElems(100, 5)
+	if err := s.AppendFull("s", base, testMeta(base)); err != nil {
+		t.Fatal(err)
+	}
+	cur := append([]uint64(nil), base...)
+	// Three delta segments: add a few, remove a few.
+	for round := 0; round < 3; round++ {
+		adds := []uint64{uint64(10000 + round), uint64(20000 + round)}
+		dels := []uint64{cur[round*3], cur[round*3+1]}
+		next := make([]uint64, 0, len(cur))
+		for _, e := range cur {
+			if !slices.Contains(dels, e) {
+				next = append(next, e)
+			}
+		}
+		cur = append(next, adds...)
+		slices.Sort(cur)
+		if err := s.AppendDelta("s", adds, dels, testMeta(cur)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Segments("s"); n != 4 {
+		t.Fatalf("chain length %d, want 4", n)
+	}
+	got, _, err := s.Load("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, cur) {
+		t.Fatal("delta replay mismatch")
+	}
+
+	merged, err := s.Merge("s")
+	if err != nil || !merged {
+		t.Fatalf("Merge = %v, %v", merged, err)
+	}
+	if n := s.Segments("s"); n != 1 {
+		t.Fatalf("chain length after merge %d, want 1", n)
+	}
+	if s.Merges() != 1 {
+		t.Fatalf("Merges = %d", s.Merges())
+	}
+	got, meta, err := s.Load("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, cur) || !meta.Full {
+		t.Fatal("post-merge replay mismatch")
+	}
+}
+
+func TestStoreReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "t1/x", "t1/y", "weird @%/name"}
+	for i, name := range names {
+		elems := seqElems(50+i, 11)
+		if err := s.AppendFull(name, elems, testMeta(elems)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := []uint64{999999}
+	after := append(seqElems(50, 11), extra...)
+	slices.Sort(after)
+	if err := s.AppendDelta("a", extra, nil, testMeta(after)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate an interrupted flush: a stale temp file must be swept, not
+	// mistaken for a segment.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-seg-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Names()
+	want := slices.Clone(names)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatalf("Names after reopen = %v, want %v", got, want)
+	}
+	if n := s2.Segments("a"); n != 2 {
+		t.Fatalf("chain length of a after reopen = %d, want 2", n)
+	}
+	elems, _, err := s2.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(elems, after) {
+		t.Fatal("replay after reopen mismatch")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-seg-123")); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived reopen")
+	}
+}
+
+func TestStoreCorruptSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := seqElems(200, 13)
+	if err := s.AppendFull("s", elems, testMeta(elems)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a byte in the middle of the one segment file on disk.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v (%d entries)", err, len(ents))
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, err := s2.Load("s"); err == nil {
+		t.Fatal("Load of corrupt segment succeeded")
+	}
+}
+
+func TestBackgroundMerge(t *testing.T) {
+	s, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	elems := seqElems(20, 3)
+	if err := s.AppendFull("s", elems, testMeta(elems)); err != nil {
+		t.Fatal(err)
+	}
+	cur := slices.Clone(elems)
+	for i := 0; i < 4; i++ {
+		add := []uint64{uint64(50000 + i)}
+		cur = append(cur, add...)
+		slices.Sort(cur)
+		if err := s.AppendDelta("s", add, nil, testMeta(cur)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The merger runs asynchronously; wait for it to fold the chain.
+	for i := 0; i < 500 && s.Segments("s") > 1; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := s.Segments("s"); n != 1 {
+		t.Fatalf("background merge did not run: chain length %d", n)
+	}
+	got, _, err := s.Load("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, cur) {
+		t.Fatal("merged replay mismatch")
+	}
+	if s.Merges() == 0 {
+		t.Fatal("no merge recorded")
+	}
+}
+
+func TestDeltaToUnpersistedSetFails(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendDelta("nope", []uint64{1}, nil, testMeta([]uint64{1})); err == nil {
+		t.Fatal("delta append to unpersisted set succeeded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	elems := seqElems(10, 2)
+	if err := s.AppendFull("s", elems, testMeta(elems)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("s"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments("s") != 0 {
+		t.Fatal("segments survived Remove")
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("%d files survived Remove", len(ents))
+	}
+}

@@ -111,3 +111,35 @@ func MustGenerate(cfg Config) *Pair {
 	}
 	return p
 }
+
+// ManySet returns the deterministic element set of index idx in a
+// many-sets workload: size distinct nonzero 32-bit elements derived from
+// (seed, idx) alone, so a server can host set idx and any client can
+// reproduce it (and carve a known difference out of it) without the two
+// ever exchanging the elements. Elements stream from a splitmix64
+// sequence — no O(universe) state — so generating a 10^5-set catalog is
+// cheap.
+func ManySet(seed int64, idx, size int) []uint64 {
+	const mask = (1 << 32) - 1
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(idx+1)*0xBF58476D1CE4E5B9
+	out := make([]uint64, 0, size)
+	seen := make(map[uint64]struct{}, size)
+	for len(out) < size {
+		// splitmix64 step
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		e := z & mask
+		if e == 0 {
+			continue
+		}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}

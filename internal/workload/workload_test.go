@@ -125,3 +125,43 @@ func TestQuickDiffInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestManySet(t *testing.T) {
+	a := ManySet(7, 3, 500)
+	b := ManySet(7, 3, 500)
+	if len(a) != 500 {
+		t.Fatalf("len = %d, want 500", len(a))
+	}
+	seen := map[uint64]struct{}{}
+	for i, e := range a {
+		if e == 0 || e >= 1<<32 {
+			t.Fatalf("element %#x outside nonzero 32-bit universe", e)
+		}
+		if _, dup := seen[e]; dup {
+			t.Fatalf("duplicate element %#x", e)
+		}
+		seen[e] = struct{}{}
+		if b[i] != e {
+			t.Fatalf("not deterministic at %d: %#x vs %#x", i, e, b[i])
+		}
+	}
+	// Distinct indexes and seeds must give (almost surely) different sets.
+	other := ManySet(7, 4, 500)
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("sets for different indexes are identical")
+	}
+	// Prefix property: a smaller size is a prefix of a larger one, so a
+	// client can reproduce "the first k elements of set idx" cheaply.
+	short := ManySet(7, 3, 100)
+	for i, e := range short {
+		if a[i] != e {
+			t.Fatalf("size-100 set is not a prefix of size-500 set at %d", i)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# bench_manysets.sh — prove one pbs-serve process hosts far more named
+# sets than fit under its resident-memory cap, with exact convergence,
+# and emit machine-readable results to BENCH_manysets.json.
+#
+# Usage:
+#   scripts/bench_manysets.sh [sets] [workers] [duration] [size] [diff] [zipf]
+#
+# Defaults (CI smoke): 10000 hosted sets of 400 elements, a resident cap
+# sized for ~5% of them, and 32 workers syncing zipf-skewed (s=1.2) random
+# catalog sets for 15s with ground-truth verification. The nightly soak
+# raises the catalog (e.g. `scripts/bench_manysets.sh 100000 64 60s`).
+#
+# The script starts pbs-serve in hosting mode (-data-dir, -host-sets, a
+# deliberately small -max-resident-bytes) on OS-assigned ports, drives it
+# with pbs-loadgen -sets -verify, and fails unless: every sync verified
+# exactly (0 errors), the eviction machinery actually ran (ColdLoads > 0
+# and Evictions > 0 on expvar — i.e. the run really served sets colder
+# than memory), resident bytes stayed near the cap, and the server
+# drained cleanly. A restart pass then recovers the whole catalog from
+# the data dir and re-verifies syncs against recovered (cold) sets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sets="${1:-10000}"
+workers="${2:-32}"
+duration="${3:-15s}"
+size="${4:-400}"
+diff="${5:-12}"
+zipf="${6:-1.2}"
+out="BENCH_manysets.json"
+
+# Resident cap: room for ~5% of the catalog (per-set resident charge is
+# 8 bytes/element plus fixed overhead), floored at 10 sets so tiny
+# parameterizations still run.
+per_set=$((size * 8 + 256))
+cap=$((per_set * sets / 20))
+[ "$cap" -lt $((per_set * 10)) ] && cap=$((per_set * 10))
+
+tmp="$(mktemp -d)"
+srv=""
+cleanup() {
+  if [ -n "$srv" ] && kill -0 "$srv" 2>/dev/null; then
+    kill -TERM "$srv" 2>/dev/null || true
+    wait "$srv" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/pbs-serve" ./cmd/pbs-serve
+go build -o "$tmp/pbs-loadgen" ./cmd/pbs-loadgen
+
+start_server() { # args: logfile [extra flags...]
+  local log="$1"
+  shift
+  "$tmp/pbs-serve" -addr 127.0.0.1:0 -metrics 127.0.0.1:0 \
+    -data-dir "$tmp/data" -max-resident-bytes "$cap" \
+    -max-sessions $((workers * 2)) "$@" >"$log" 2>&1 &
+  srv=$!
+  # Hosting a large catalog persists one segment per set before the
+  # listener comes up; wait generously (100k sets can take minutes on a
+  # slow CI disk).
+  addr="" metrics=""
+  for _ in $(seq 1 1200); do
+    addr="$(sed -n 's/.*serving .* on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$log")"
+    metrics="$(sed -n 's/.*metrics on http:\/\/\(127\.0\.0\.1:[0-9]*\)\/.*/\1/p' "$log")"
+    [ -n "$addr" ] && [ -n "$metrics" ] && break
+    kill -0 "$srv" 2>/dev/null || break
+    sleep 0.5
+  done
+  if [ -z "$addr" ] || [ -z "$metrics" ]; then
+    cat "$log" >&2
+    echo "pbs-serve did not start" >&2
+    exit 1
+  fi
+}
+
+check_report() { # args: report expected_sets
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+sets = int(sys.argv[2])
+assert rep.get("sets") == sets, f"sets {rep.get('sets')} != {sets}"
+assert rep["syncs"] > 0, "no syncs"
+assert rep["errors"] == 0, f"{rep['errors']} errors: {rep.get('first_error','')}"
+assert rep["syncs_per_sec"] > 0, "no throughput"
+print(f"many-sets run OK: {rep['syncs']} verified syncs at {rep['syncs_per_sec']:.0f}/s "
+      f"across {sets} sets (zipf s={rep.get('zipf_s') or 'uniform'})")
+EOF
+}
+
+check_metrics() { # args: metrics_addr expected_sets cap mode
+  # mode: "full" requires the eviction machinery to have cycled (cold
+  # loads AND evictions); "cold" requires only cold loads — the short
+  # post-restart pass starts all-cold and may never refill the cap.
+  curl -fsS "http://$1/debug/vars" >"$tmp/vars.json"
+  python3 - "$tmp/vars.json" "$2" "$3" "$4" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))["pbs_serve"]
+sets, cap, mode = int(sys.argv[2]), int(sys.argv[3]), sys.argv[4]
+assert st["SetsHosted"] == sets, f"SetsHosted {st['SetsHosted']} != {sets}"
+assert st["SetsResident"] < sets, "every set resident: the cap never bit"
+# One in-flight promotion may briefly overshoot before eviction settles.
+assert st["ResidentBytes"] <= cap * 1.5, \
+    f"ResidentBytes {st['ResidentBytes']} far above cap {cap}"
+assert st["ColdLoads"] > 0, "no cold loads: the run never touched an evicted set"
+if mode == "full":
+    assert st["Evictions"] > 0, "no evictions: the working set fit in the cap"
+assert st["Failed"] == 0, f"{st['Failed']} failed sessions"
+print(f"expvar OK: {st['SetsHosted']} hosted, {st['SetsResident']} resident "
+      f"({st['ResidentBytes']} B <= ~{cap} B), {st['ColdLoads']} cold loads, "
+      f"{st['Evictions']} evictions, {st['SegmentMerges']} merges")
+EOF
+}
+
+# Phase 1: host the catalog fresh and load it.
+log="$tmp/serve.log"
+start_server "$log" -host-sets "$sets" -host-size "$size" -demo-seed 1
+
+"$tmp/pbs-loadgen" -addr "$addr" \
+  -workers "$workers" -duration "$duration" \
+  -sets "$sets" -size "$size" -diff "$diff" -zipf "$zipf" \
+  -workload-seed 1 -verify -json "$out"
+
+check_report "$out" "$sets"
+check_metrics "$metrics" "$sets" "$cap" full
+
+kill -TERM "$srv"
+wait "$srv" || { cat "$log" >&2; exit 1; }
+srv=""
+grep -Eq 'done: [1-9][0-9]* completed, 0 failed, 0 rejected' "$log" || {
+  cat "$log" >&2
+  echo "server saw failed or rejected sessions" >&2
+  exit 1
+}
+
+# Phase 2: restart from the data dir alone — every set must come back
+# (cold, serving hello estimates from its persisted sketch) and verify
+# exactly under a short second fleet.
+log2="$tmp/serve2.log"
+start_server "$log2"
+grep -Eq "hosting $sets sets \($sets recovered" "$log2" || {
+  cat "$log2" >&2
+  echo "restart did not recover the full catalog" >&2
+  exit 1
+}
+
+"$tmp/pbs-loadgen" -addr "$addr" \
+  -workers "$workers" -syncs 3 \
+  -sets "$sets" -size "$size" -diff "$diff" -zipf "$zipf" \
+  -workload-seed 1 -verify -json "$tmp/recovered.json"
+
+check_report "$tmp/recovered.json" "$sets"
+check_metrics "$metrics" "$sets" "$cap" cold
+
+kill -TERM "$srv"
+wait "$srv" || { cat "$log2" >&2; exit 1; }
+srv=""
+grep -Eq 'done: [1-9][0-9]* completed, 0 failed, 0 rejected' "$log2" || {
+  cat "$log2" >&2
+  echo "server saw failed or rejected sessions after recovery" >&2
+  exit 1
+}
+
+echo "bench_manysets OK: $sets sets hosted under a $cap B resident cap, exact convergence before and after restart"

@@ -12,6 +12,8 @@ import (
 	"pbs/internal/core"
 	"pbs/internal/hist"
 	"pbs/internal/lz"
+	"pbs/internal/registry"
+	"pbs/internal/setstore"
 )
 
 // Server answers reconciliation sessions concurrently over TCP (or any
@@ -45,8 +47,18 @@ type Server struct {
 	// session runs under it.
 	protoOpt Options
 
+	// sets is the sharded set registry: striped by name hash so lookups on
+	// the session hot path take only one shard's read lock, with per-tenant
+	// ("tenant/name") quota accounting layered on top.
+	sets *registry.Registry[setSource]
+	// hosted manages evictable persistent sets (see hosted.go); store is
+	// the segment layer, non-nil once EnableHosting has opened DataDir.
+	hosted      *hostedStore
+	hostedErr   error
+	store       *setstore.Store
+	closeHosted sync.Once
+
 	mu        sync.Mutex
-	sets      map[string]setSource
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	closed    bool
@@ -63,14 +75,15 @@ type Server struct {
 	connCount  atomic.Int64
 	sessActive atomic.Int64
 
-	accepted  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	rejected  atomic.Int64
-	shed      atomic.Int64
-	bytesIn   atomic.Int64
-	bytesOut  atomic.Int64
-	rounds    atomic.Int64
+	accepted        atomic.Int64
+	completed       atomic.Int64
+	failed          atomic.Int64
+	rejected        atomic.Int64
+	shed            atomic.Int64
+	bytesIn         atomic.Int64
+	bytesOut        atomic.Int64
+	rounds          atomic.Int64
+	quotaRejections atomic.Int64
 
 	// Mux accounting: streamsOpen gauges currently open mux streams across
 	// all connections, streamsTotal counts every stream ever opened, and
@@ -150,6 +163,40 @@ type ServerOptions struct {
 	// DefaultMaxStreams; negative disables mux negotiation entirely (every
 	// feature offer is declined and connections stay single-stream).
 	MaxStreams int
+
+	// RegistryShards is the stripe count of the set registry (rounded up to
+	// a power of two). 0 selects a default sized for tens of lookup
+	// goroutines; raise it for servers pushing lookups from many cores.
+	RegistryShards int
+	// TenantQuota is the default per-tenant quota; a zero value means
+	// unlimited. Per-tenant overrides via SetTenantQuota. Tenants are the
+	// prefix of "tenant/name" set names; unprefixed names share the
+	// anonymous tenant "".
+	TenantQuota TenantQuota
+	// DataDir is the directory the hosted-set segment store lives in;
+	// EnableHosting opens it. Empty means hosted sets are memory-only and
+	// never evicted.
+	DataDir string
+	// MaxResidentBytes is the watermark on the summed in-memory charge of
+	// resident hosted sets: when exceeded, least-recently-used hosted sets
+	// are flushed and evicted down to the watermark (they keep answering
+	// estimates from persisted metadata; elements page back in on demand).
+	// 0 means unlimited. Requires DataDir — without the persistence layer
+	// eviction would discard data, so memory-only hosting ignores it.
+	MaxResidentBytes int64
+}
+
+// TenantQuota bounds what one tenant may hold and do on a Server. Zero
+// fields are unlimited. Bytes are logical (8 per element); sessions are
+// concurrently active reconciliation sessions across the tenant's sets.
+type TenantQuota struct {
+	MaxSets     int64
+	MaxBytes    int64
+	MaxSessions int64
+}
+
+func (q TenantQuota) toRegistry() registry.Quota {
+	return registry.Quota{MaxSets: q.MaxSets, MaxBytes: q.MaxBytes, MaxSessions: q.MaxSessions}
 }
 
 func (o ServerOptions) maxSessions() int64 {
@@ -206,6 +253,13 @@ func (o ServerOptions) retryAfterHint() time.Duration {
 	return DefaultRetryAfterHint
 }
 
+func (o ServerOptions) registryShards() int {
+	if o.RegistryShards > 0 {
+		return o.RegistryShards
+	}
+	return registry.DefaultShards
+}
+
 func (o ServerOptions) maxStreams() int {
 	switch {
 	case o.MaxStreams > 0:
@@ -241,6 +295,20 @@ type ServerStats struct {
 	StreamsOpen           int64 // mux streams currently open across all connections
 	StreamsTotal          int64 // mux streams ever opened
 	BytesSavedCompression int64 // wire bytes saved by negotiated lz compression, both directions
+
+	// Hosted-set registry counters. SetsHosted counts every registered set
+	// (hosted or not); the rest cover the hosted layer: sets currently
+	// resident in memory, their summed charge, elements paged in from the
+	// segment store (cold loads), LRU evictions under MaxResidentBytes,
+	// background segment-chain merges, and sessions or registrations
+	// rejected on a tenant quota.
+	SetsHosted      int64
+	SetsResident    int64
+	ResidentBytes   int64
+	ColdLoads       int64
+	Evictions       int64
+	SegmentMerges   int64
+	QuotaRejections int64
 
 	// Distributions over completed sessions, recorded at the moment the
 	// initiator's msgDone lands. LatencyUS is the wall-clock session
@@ -298,14 +366,32 @@ func (sw setWithOptions) sessionOptions() Options         { return sw.opt }
 // NewServer returns a Server with an empty set registry. Register at least
 // one set (typically DefaultSetName) before calling Serve.
 func NewServer(opt ServerOptions) *Server {
-	return &Server{
+	s := &Server{
 		opt:       opt,
 		protoOpt:  opt.Protocol.withDefaults(),
-		sets:      make(map[string]setSource),
+		sets:      registry.New[setSource](opt.registryShards(), opt.TenantQuota.toRegistry()),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		drainCh:   make(chan struct{}),
 	}
+	// The hosted layer needs a valid estimator configuration; an invalid
+	// one surfaces on the first Host/EnableHosting call, not here, so
+	// NewServer keeps its no-error signature.
+	s.hosted, s.hostedErr = newHostedStore(s.protoOpt, opt.MaxResidentBytes)
+	return s
+}
+
+// SetTenantQuota overrides the default TenantQuota for one tenant. It may
+// be called at any time; lowered quotas apply to new reservations only
+// (existing sets and sessions are never revoked).
+func (s *Server) SetTenantQuota(tenant string, q TenantQuota) {
+	s.sets.SetQuota(tenant, q.toRegistry())
+}
+
+// TenantUsage reports a tenant's current registered sets, logical bytes,
+// and active sessions.
+func (s *Server) TenantUsage(tenant string) (sets, bytes, sessions int64) {
+	return s.sets.TenantUsage(tenant)
 }
 
 // Register validates set once and publishes it under name. Re-registering
@@ -342,10 +428,7 @@ func (s *Server) RegisterShared(name string, ss *SharedSet) error {
 	case got.MaxD != want.MaxD:
 		return fmt.Errorf("pbs: shared set MaxD %d does not match server MaxD %d", got.MaxD, want.MaxD)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sets[name] = ss
-	return nil
+	return s.publish(name, ss, hostedElemBytes*int64(ss.Len()))
 }
 
 // RegisterSet publishes a live, mutable Set under name. Unlike Register
@@ -373,68 +456,126 @@ func (s *Server) RegisterSet(name string, set *Set) error {
 	case got.EstimatorSketches != want.EstimatorSketches:
 		return fmt.Errorf("pbs: set sketch count %d does not match server %d", got.EstimatorSketches, want.EstimatorSketches)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sets[name] = set
-	return nil
+	return s.publish(name, set, hostedElemBytes*int64(set.Len()))
 }
 
 // registerSource publishes a pre-checked source directly (Set.Serve's
 // per-call option override path).
-func (s *Server) registerSource(name string, src setSource) error {
+func (s *Server) registerSource(name string, src setSource, bytes int64) error {
 	if err := src.sessionOptions().validate(); err != nil {
 		return err
 	}
+	return s.publish(name, src, bytes)
+}
+
+// ErrServerClosed is returned by registration and hosting calls made after
+// Close or Shutdown.
+var ErrServerClosed = errors.New("pbs: server closed")
+
+// publish inserts src into the sharded registry, charging bytes against
+// the tenant's quota. The closed check rides the same lock Close takes, so
+// a registration can never land after Shutdown observed a clean registry.
+func (s *Server) publish(name string, src setSource, bytes int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sets[name] = src
+	if s.closed {
+		return ErrServerClosed
+	}
+	if err := s.sets.Register(name, src, bytes); err != nil {
+		var qe *registry.QuotaError
+		if errors.As(err, &qe) {
+			s.quotaRejections.Add(1)
+			return fmt.Errorf("%w: %v", ErrQuotaExceeded, err)
+		}
+		return err
+	}
 	return nil
 }
 
+// Unregister removes a named set from the registry, releasing its quota
+// charge; it reports whether the name was registered. Sessions already
+// reconciling against the set finish undisturbed. A hosted set's persisted
+// segments stay on disk (recovered again by the next EnableHosting);
+// removing those too is the store's Remove.
+func (s *Server) Unregister(name string) bool {
+	src, ok := s.sets.Unregister(name)
+	if !ok {
+		return false
+	}
+	if hs, isHosted := src.(*hostedSet); isHosted {
+		s.hosted.forget(hs)
+	}
+	return true
+}
+
+// rejection is why startSession turned a session away: the client-facing
+// diagnostic plus its structured code and retry-after hint. transient
+// rejections (shutdown drain, session quota — conditions that clear on
+// their own) count as rejected; the rest count as failed sessions.
+type rejection struct {
+	msg       string
+	code      string
+	retry     time.Duration
+	transient bool
+}
+
+// count records the rejection in the server stats.
+func (r *rejection) count(s *Server) {
+	if r.transient {
+		s.rejected.Add(1)
+	} else {
+		s.failed.Add(1)
+	}
+}
+
 // startSession resolves name and admits a new responder session. The
-// shutdown check, the registry lookup, and the sessActive increment happen
-// under one lock so Shutdown can never sample a clean drain while a
-// session is half-admitted; the view materialization (which may be O(|S|)
-// right after a mutation of a registered Set) happens outside it. A nil
-// session comes with the rejection reason and whether it was a shutdown
-// rejection (counted rejected, not failed).
-func (s *Server) startSession(name string) (sess *ResponderSession, reason string, shuttingDown bool) {
+// shutdown check and the sessActive increment happen under one lock so
+// Shutdown can never sample a clean drain while a session is
+// half-admitted; the registry lookup takes only the name's shard read
+// lock, and the view materialization (which may be O(|S|) right after a
+// mutation of a registered Set, or a cold load for a hosted one) happens
+// outside both. The returned session carries a release hook returning the
+// tenant's session-quota slot; every sessActive decrement must pair with
+// runRelease.
+func (s *Server) startSession(name string) (*ResponderSession, *rejection) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, "server shutting down", true
-	}
-	src := s.sets[name]
-	if src == nil {
-		s.mu.Unlock()
-		return nil, fmt.Sprintf("unknown set %q", name), false
+		return nil, &rejection{msg: "server shutting down", code: ErrCodeBusy, retry: s.opt.retryAfterHint(), transient: true}
 	}
 	s.sessActive.Add(1)
 	s.mu.Unlock()
+	src, ok := s.sets.Get(name)
+	if !ok {
+		s.sessActive.Add(-1)
+		return nil, &rejection{msg: fmt.Sprintf("unknown set %q", name), code: ErrCodeRejected}
+	}
+	if err := s.sets.BeginSession(name); err != nil {
+		s.sessActive.Add(-1)
+		s.quotaRejections.Add(1)
+		// Session quotas clear as the tenant's other sessions drain, so the
+		// rejection is retryable with the standard hint.
+		return nil, &rejection{msg: err.Error(), code: ErrCodeQuota, retry: s.opt.retryAfterHint(), transient: true}
+	}
 	ss, err := src.sharedView()
 	if err != nil {
+		s.sets.EndSession(name)
 		s.sessActive.Add(-1)
-		return nil, err.Error(), false
+		return nil, &rejection{msg: err.Error(), code: ErrCodeRejected}
 	}
-	return ss.newServerSession(src.sessionOptions()), "", false
+	sess := ss.newServerSession(src.sessionOptions())
+	sess.release = func() { s.sets.EndSession(name) }
+	return sess, nil
 }
 
 // admit starts a session against the named set, handling the rejection
 // accounting and client diagnostic when it cannot. A nil return means the
 // connection should close.
 func (s *Server) admit(conn net.Conn, name string) *ResponderSession {
-	sess, reason, shuttingDown := s.startSession(name)
+	sess, rej := s.startSession(name)
 	if sess == nil {
-		if shuttingDown {
-			// A draining server is a transient condition: tell the client
-			// to come back (elsewhere) rather than treat it as a protocol
-			// failure.
-			s.rejected.Add(1)
-			s.sendCodedError(conn, reason, ErrCodeBusy, s.opt.retryAfterHint())
-		} else {
-			s.failed.Add(1)
-			s.sendError(conn, reason)
-		}
+		rej.count(s)
+		s.sendCodedError(conn, rej.msg, rej.code, rej.retry)
 		return nil
 	}
 	// Sessions on the sequential connection loop may negotiate the mux
@@ -446,7 +587,9 @@ func (s *Server) admit(conn net.Conn, name string) *ResponderSession {
 
 // Stats returns a snapshot of the server counters and session histograms.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
+	st := ServerStats{
+		SetsHosted:            int64(s.sets.Len()),
+		QuotaRejections:       s.quotaRejections.Load(),
 		Active:                s.sessActive.Load(),
 		Accepted:              s.accepted.Load(),
 		Completed:             s.completed.Load(),
@@ -463,6 +606,16 @@ func (s *Server) Stats() ServerStats {
 		SessionRounds:         summarize(s.roundsHist.Snapshot()),
 		SessionBytes:          summarize(s.bytesHist.Snapshot()),
 	}
+	if s.hosted != nil {
+		st.SetsResident = s.hosted.residentSets.Load()
+		st.ResidentBytes = s.hosted.residentBytes.Load()
+		st.ColdLoads = s.hosted.coldLoads.Load()
+		st.Evictions = s.hosted.evictions.Load()
+	}
+	if s.store != nil {
+		st.SegmentMerges = s.store.Merges()
+	}
+	return st
 }
 
 // Serve accepts connections on ln until the listener fails or the server
@@ -537,8 +690,9 @@ func (s *Server) markClosed() {
 	}
 }
 
-// Close stops accepting and tears down every open connection immediately.
-// For a drain-first stop, use Shutdown.
+// Close stops accepting and tears down every open connection immediately,
+// then flushes hosted sets' dirty state and closes the segment store. For
+// a drain-first stop, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.markClosed()
@@ -553,7 +707,16 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
-	return nil
+	var err error
+	s.closeHosted.Do(func() {
+		if s.hosted != nil {
+			err = s.hosted.flushAll()
+		}
+		if s.store != nil {
+			s.store.Close()
+		}
+	})
+	return err
 }
 
 // Shutdown stops accepting new connections, waits up to timeout for
@@ -650,6 +813,7 @@ func (s *Server) handle(conn net.Conn) {
 	)
 	defer func() {
 		if sess != nil {
+			sess.runRelease()
 			s.sessActive.Add(-1)
 		}
 	}()
@@ -795,6 +959,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			// Keep the connection: the next msgHello or msgEstimate opens
 			// a fresh session under fresh budgets.
+			sess.runRelease()
 			s.sessActive.Add(-1)
 			sess = nil
 			sessionBytes, roundFrames = 0, 0
@@ -853,6 +1018,7 @@ func (s *Server) muxLoop(conn net.Conn, buf *[]byte, cur int64, first *srvStream
 			if st.sess.started() || st.bytes > 0 {
 				s.failed.Add(1)
 			}
+			st.sess.runRelease()
 			s.sessActive.Add(-1)
 			s.streamsOpen.Add(-1)
 		}
@@ -887,6 +1053,7 @@ func (s *Server) muxLoop(conn net.Conn, buf *[]byte, cur int64, first *srvStream
 		if failed {
 			s.failed.Add(1)
 		}
+		st.sess.runRelease()
 		s.sessActive.Add(-1)
 		s.streamsOpen.Add(-1)
 		delete(streams, id)
@@ -965,18 +1132,11 @@ func (s *Server) muxLoop(conn net.Conn, buf *[]byte, cur int64, first *srvStream
 					name = hn
 				}
 			}
-			sess, reason, shuttingDown := s.startSession(name)
+			sess, rej := s.startSession(name)
 			if sess == nil {
-				if shuttingDown {
-					s.rejected.Add(1)
-					if werr := streamError(id, reason, ErrCodeBusy, s.opt.retryAfterHint()); werr != nil {
-						return
-					}
-				} else {
-					s.failed.Add(1)
-					if werr := streamError(id, reason, ErrCodeRejected, 0); werr != nil {
-						return
-					}
+				rej.count(s)
+				if werr := streamError(id, rej.msg, rej.code, rej.retry); werr != nil {
+					return
 				}
 				continue
 			}

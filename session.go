@@ -471,11 +471,62 @@ type SharedSet struct {
 	snap *core.Snapshot
 	tow  *estimator.ToW
 
+	// Cold (evicted) hosted sets defer the snapshot: loadSnap pages the
+	// elements in the first time a session actually needs them — decoding
+	// a delta round — while estimates and digest verification are answered
+	// from the preset sketch/digest below. count carries the element count
+	// so sizing (Len, the server MaxD tightening) works without elements.
+	loadSnap func() (*core.Snapshot, error)
+	snapOnce sync.Once
+	snapErr  error
+	count    int
+
 	sketchOnce sync.Once
 	sketch     []int64
 
 	digestOnce sync.Once
 	digest     msethash.Digest
+}
+
+// newLazySharedSet builds a SharedSet whose ToW sketch and verification
+// digest are preset from persisted metadata and whose snapshot is
+// materialized by load only when a session must decode rounds. opt must
+// already have defaults applied.
+func newLazySharedSet(opt Options, count int, sketch []int64, digest msethash.Digest, load func() (*core.Snapshot, error)) (*SharedSet, error) {
+	tow, err := estimator.NewToW(opt.EstimatorSketches, opt.Seed^towSeedTweak)
+	if err != nil {
+		return nil, err
+	}
+	if len(sketch) != tow.L() {
+		return nil, fmt.Errorf("pbs: persisted sketch length %d, want %d", len(sketch), tow.L())
+	}
+	ss := &SharedSet{opt: opt, tow: tow, loadSnap: load, count: count}
+	// Fire the Onces before the set is shared, so towSketch/verifyDigest
+	// answer from the persisted values without touching the snapshot.
+	ss.sketchOnce.Do(func() { ss.sketch = sketch })
+	ss.digestOnce.Do(func() { ss.digest = digest })
+	return ss, nil
+}
+
+// snapshot returns the materialized element snapshot, invoking loadSnap at
+// most once for lazily built shared sets.
+func (ss *SharedSet) snapshot() (*core.Snapshot, error) {
+	ss.snapOnce.Do(func() {
+		if ss.snap != nil || ss.loadSnap == nil {
+			return
+		}
+		ss.snap, ss.snapErr = ss.loadSnap()
+		if ss.snapErr == nil && ss.snap != nil {
+			ss.count = ss.snap.Len()
+		}
+	})
+	if ss.snapErr != nil {
+		return nil, ss.snapErr
+	}
+	if ss.snap == nil {
+		return nil, fmt.Errorf("pbs: shared set has no snapshot")
+	}
+	return ss.snap, nil
 }
 
 // NewSharedSet validates set once under o and prepares it for concurrent
@@ -497,7 +548,12 @@ func NewSharedSet(set []uint64, o *Options) (*SharedSet, error) {
 }
 
 // Len returns the number of elements in the set.
-func (ss *SharedSet) Len() int { return ss.snap.Len() }
+func (ss *SharedSet) Len() int {
+	if ss.snap == nil {
+		return ss.count
+	}
+	return ss.snap.Len()
+}
 
 // towSketch returns the set's ToW sketch vector, computed on first use and
 // then shared read-only by every session.
@@ -542,7 +598,7 @@ func (ss *SharedSet) newResponderSession(opt Options) *ResponderSession {
 // identical to ss.opt, which registration enforces).
 func (ss *SharedSet) newServerSession(opt Options) *ResponderSession {
 	if opt.MaxD == 0 {
-		if cap := 64*ss.snap.Len() + 1024; cap < DefaultMaxD {
+		if cap := 64*ss.Len() + 1024; cap < DefaultMaxD {
 			opt.MaxD = cap
 		}
 	}
@@ -564,6 +620,18 @@ type ResponderSession struct {
 	bob    *core.Bob
 	rounds int
 	closed bool
+
+	// estimated records that an estimate was answered; plan holds the
+	// agreed decoding plan until the first msgRound forces Bob (and, for a
+	// cold hosted set, the element snapshot) to materialize. Estimate-only
+	// probes against an evicted set therefore never page elements in.
+	estimated bool
+	plan      core.Plan
+
+	// release, when set, runs exactly once when the session ends (done or
+	// dropped); the Server uses it to return per-tenant session slots and
+	// resident-set pins.
+	release func()
 
 	// allowFeatures is the feature bitmap this session may grant to a
 	// version-2 fast hello. Only the Server's connection loop sets it (it
@@ -596,7 +664,7 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 	}
 	switch typ {
 	case msgEstimate:
-		if s.bob != nil {
+		if s.estimated {
 			// A mid-session re-estimate would silently discard all
 			// reconciliation state; treat it as the protocol violation it is.
 			return nil, false, fmt.Errorf("pbs: duplicate estimate in one session")
@@ -620,15 +688,15 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if err != nil {
 			return nil, false, err
 		}
-		bob, err := core.NewBobFromSnapshot(s.shared.snap, plan)
-		if err != nil {
-			return nil, false, err
-		}
-		s.bob = bob
+		// Bob is deferred to the first msgRound: the estimate itself is
+		// answered purely from the (possibly persisted) ToW sketch, so an
+		// estimate-only probe against a cold hosted set stays element-free.
+		s.plan = plan
+		s.estimated = true
 		return []Frame{{msgEstimateReply, binary.AppendUvarint(nil, dhat)}}, false, nil
 
 	case msgHelloV1:
-		if s.bob != nil {
+		if s.estimated {
 			return nil, false, fmt.Errorf("pbs: duplicate estimate in one session")
 		}
 		h, err := parseFastHello(payload)
@@ -668,10 +736,8 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if err != nil {
 			return nil, false, err
 		}
-		bob, err := core.NewBobFromSnapshot(s.shared.snap, plan)
-		if err != nil {
-			return nil, false, err
-		}
+		s.plan = plan
+		s.estimated = true
 		rep := fastHelloReply{version: fastProtoVersion, dhat: dhat}
 		if h.version == fastProtoVersionMux {
 			// Feature grant: the intersection of what the peer offered and
@@ -690,7 +756,12 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 			}
 		}
 		if accepted {
-			reply, err := bob.HandleRound(h.round1)
+			// Answering the speculative round needs the bin sums, so this
+			// is the point where a cold hosted set pages its elements in.
+			if err := s.materialize(); err != nil {
+				return nil, false, err
+			}
+			reply, err := s.bob.HandleRound(h.round1)
 			if err != nil {
 				return nil, false, err
 			}
@@ -701,12 +772,14 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if h.wantDigest {
 			rep.digest = s.shared.verifyDigest().Bytes()
 		}
-		s.bob = bob
 		return []Frame{{msgHelloReplyV1, appendFastHelloReply(nil, rep)}}, false, nil
 
 	case msgRound:
-		if s.bob == nil {
+		if !s.estimated {
 			return nil, false, fmt.Errorf("pbs: round before estimation")
+		}
+		if err := s.materialize(); err != nil {
+			return nil, false, err
 		}
 		reply, err := s.bob.HandleRound(payload)
 		if err != nil {
@@ -730,10 +803,39 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 	}
 }
 
+// materialize builds Bob from the agreed plan on first need, paging the
+// shared set's snapshot in if it is cold.
+func (s *ResponderSession) materialize() error {
+	if s.bob != nil {
+		return nil
+	}
+	snap, err := s.shared.snapshot()
+	if err != nil {
+		return err
+	}
+	bob, err := core.NewBobFromSnapshot(snap, s.plan)
+	if err != nil {
+		return err
+	}
+	s.bob = bob
+	return nil
+}
+
 // Rounds returns the number of rounds answered so far.
 func (s *ResponderSession) Rounds() int { return s.rounds }
 
 // started reports whether the session has answered an estimate — i.e.
 // reconciliation actually began, as opposed to a probe that only opened
 // and closed the session.
-func (s *ResponderSession) started() bool { return s.bob != nil }
+func (s *ResponderSession) started() bool { return s.estimated }
+
+// runRelease fires the session's release hook at most once. The Server
+// attaches per-tenant session slots and resident-set pins here and calls
+// this from every path that retires a session.
+func (s *ResponderSession) runRelease() {
+	if s.release != nil {
+		r := s.release
+		s.release = nil
+		r()
+	}
+}

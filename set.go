@@ -582,11 +582,11 @@ func (s *Set) Serve(ctx context.Context, ln net.Listener, opts ...Option) error 
 		SessionMaxRounds:  cfg.sessionMaxRounds,
 	})
 	src := setWithOptions{set: s, opt: cfg.opt}
-	if err := srv.registerSource(DefaultSetName, src); err != nil {
+	if err := srv.registerSource(DefaultSetName, src, hostedElemBytes*int64(s.Len())); err != nil {
 		return err
 	}
 	if cfg.setName != "" && cfg.setName != DefaultSetName {
-		if err := srv.registerSource(cfg.setName, src); err != nil {
+		if err := srv.registerSource(cfg.setName, src, hostedElemBytes*int64(s.Len())); err != nil {
 			return err
 		}
 	}
