@@ -1,0 +1,235 @@
+package pbs
+
+import (
+	"math"
+	"sync"
+
+	"pbs/internal/estimator"
+)
+
+// This file holds the online adaptive controller: a learned per-handle
+// prior over realized difference cardinalities, the speculation sizing
+// that replaces hand-set KnownD/DefaultSpeculativeD for warm handles, and
+// the automatic estimator selection for the large-d regime. The wire side
+// of adaptive mode — negotiating the grant in the fast hello and carrying
+// re-planned (m, t) parameters on rounds ≥ 2 — lives in sync.go and
+// session.go; the per-round re-planning policy itself is internal/core's
+// Alice.EnableAdaptive/Bob.EnableAdaptive backed by markov.Replan.
+//
+// Everything here is initiator-local: it changes which parameters this
+// side asks for, never the protocol's correctness. A peer that predates
+// adaptive mode simply never grants it, and the session degrades to the
+// static paper-fixed plan byte-for-byte.
+
+// WithAdaptive toggles the online adaptive controller for a Set (default
+// on). With it on, three things happen:
+//
+//   - Speculation sizing: fast syncs size their speculative first round
+//     from a learned EWMA prior over this handle's realized differences
+//     (the smoothed mean plus headroom, floored at DefaultSpeculativeD,
+//     escalated to the latest outcome on a regime shift) instead of the
+//     fixed last-difference heuristic. An explicit WithKnownD still wins,
+//     and a cold handle still opens at DefaultSpeculativeD.
+//   - Round re-planning: the fast hello offers adaptive mode to the peer;
+//     when granted, both endpoints re-derive (n, t) per round from the
+//     Markov occupancy model — survivor-only rounds shrink their parity
+//     bitmaps well below the static plan's, split rounds replay it.
+//   - Estimator selection: in-process Reconcile calls whose learned prior
+//     predicts a large difference cross-check the ToW estimate against
+//     Strata and MinWise estimates and use the median, trimming the tail
+//     error that a single estimator family pays exactly where a
+//     mis-estimate is most expensive. The wire protocol always exchanges
+//     ToW sketches regardless.
+//
+// WithAdaptive(false) pins the paper-fixed behavior: the hello carries no
+// adaptive offer, every round runs the static plan, and speculation sizing
+// follows the legacy last-difference heuristic — the wire stream is
+// byte-identical to a build without adaptive mode. The pre-Set wrappers
+// (SyncInitiator, NewInitiatorSession, Session) never negotiate adaptive
+// mode, so their streams are unchanged either way.
+func WithAdaptive(on bool) Option { return func(c *setConfig) { c.adaptiveOff = !on } }
+
+// specPredictHeadroom is the fixed slack added on top of the prior's
+// mean + 2σ speculation size: it keeps a freshly converged prior (σ ≈ 0)
+// from speculating exactly at the mean, where half of all outcomes would
+// overflow the plan.
+const specPredictHeadroom = 8
+
+// ewmaAlphaFloor is the steady-state EWMA weight. Warm-up uses 1/count so
+// the first observations are absorbed at full weight (the first IS the
+// mean), decaying to this floor — a shift in the workload's difference
+// regime is fully reflected after a handful of syncs.
+const ewmaAlphaFloor = 0.25
+
+// adaptiveLargeD is the predicted-difference threshold above which the
+// in-process estimator selection engages. Below it a single ToW draw under
+// γ = 1.38 is cheap insurance; above it the O(d)-scaling plan makes a tail
+// mis-estimate expensive enough to justify building two extra O(|S|)
+// sketch families and taking the median.
+const adaptiveLargeD = 2048
+
+// Seed tweaks for the cross-check estimator families, disjoint from
+// towSeedTweak/verifySeedTweak so all hash domains stay independent.
+const (
+	strataSeedTweak  = 0x57247A
+	minwiseSeedTweak = 0x313B15E
+)
+
+// ewmaObserve folds one realized difference cardinality into an
+// exponentially weighted (mean, variance) pair. It is the shared update
+// rule of the Set-level prior and the hosted set's persisted prior, so the
+// two learn identically.
+func ewmaObserve(mean, vr float64, count uint64, d float64) (float64, float64, uint64) {
+	count++
+	alpha := 1 / float64(count)
+	if alpha < ewmaAlphaFloor {
+		alpha = ewmaAlphaFloor
+	}
+	delta := d - mean
+	mean += alpha * delta
+	vr = (1 - alpha) * (vr + alpha*delta*delta)
+	return mean, vr, count
+}
+
+// dhatPrior is a concurrency-safe learned prior over a set handle's
+// realized difference cardinalities: an EWMA of the mean and variance of
+// |A△B| as observed by completed syncs. It is the adaptive replacement
+// for hand-tuning WithKnownD — after a few syncs the handle knows its own
+// churn regime and sizes speculation from it.
+type dhatPrior struct {
+	mu    sync.Mutex
+	mean  float64
+	vr    float64
+	count uint64
+}
+
+// observe folds one realized difference cardinality into the prior.
+func (p *dhatPrior) observe(d float64) {
+	if math.IsNaN(d) || d < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.mean, p.vr, p.count = ewmaObserve(p.mean, p.vr, p.count, d)
+	p.mu.Unlock()
+}
+
+// predict returns the speculative difference bound the prior recommends —
+// the smoothed mean plus fixed headroom, clamped to at least 1 — and
+// ok=false for a cold prior with nothing observed yet. The bound is
+// deliberately NOT inflated by the prior's spread: syncPlan γ-scales every
+// speculative bound by 1.38 (the same slack the estimator path carries),
+// which already covers sync-to-sync churn variation, and PBS degrades
+// gracefully when a draw lands past it — the speculative round decodes
+// piecewise and a re-planned survivor round mops up. Adding σ terms here
+// multiplies through γ into every warm plan and costs more bytes than the
+// occasional extra round saves.
+func (p *dhatPrior) predict() (uint64, bool) {
+	p.mu.Lock()
+	mean, _, count := p.mean, p.vr, p.count
+	p.mu.Unlock()
+	if count == 0 {
+		return 0, false
+	}
+	spec := mean + specPredictHeadroom
+	if spec < 1 {
+		spec = 1
+	}
+	return uint64(math.Round(spec)), true
+}
+
+// shifted reports whether a realized difference d lies outside the prior's
+// learned spread (mean + 2σ + headroom) — the signal that the workload
+// changed regime rather than drew an ordinary fluctuation.
+func (p *dhatPrior) shifted(d float64) bool {
+	p.mu.Lock()
+	mean, vr, count := p.mean, p.vr, p.count
+	p.mu.Unlock()
+	if count == 0 {
+		return false
+	}
+	return d > mean+2*math.Sqrt(vr)+specPredictHeadroom
+}
+
+// snapshot returns the prior's raw state (hosted persistence reads it).
+func (p *dhatPrior) snapshot() (mean, vr float64, count uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mean, p.vr, p.count
+}
+
+// adaptiveSpeculativeD sizes the fast path's speculative first round under
+// the resolved call configuration: the learned prior when adaptive mode is
+// on and warm, the legacy last-difference heuristic otherwise. WithKnownD
+// always wins (speculativeD handles it), and the specAvoid hop — never
+// replaying the exact bound whose plan just failed to decode in one round
+// — applies to both paths.
+func (s *Set) adaptiveSpeculativeD(cfg *setConfig) uint64 {
+	if cfg.adaptiveOff || cfg.opt.KnownD > 0 {
+		return s.speculativeD(cfg.opt)
+	}
+	spec, ok := s.prior.predict()
+	if !ok {
+		return s.speculativeD(cfg.opt)
+	}
+	// The learned bound never shrinks the speculative plan below the stock
+	// default: small plans concentrate the difference into few groups,
+	// raising the bin-collision rate — the dominant cause of a second
+	// round in this regime — so shaving their already-small parity trades
+	// a whole round trip for a handful of bytes. Above the default, parity
+	// dominates the cost and the prior's mean-sized bound is the win.
+	if spec < DefaultSpeculativeD {
+		spec = DefaultSpeculativeD
+	}
+	// Regime-shift escape hatch: when the most recent outcome (specPrior
+	// holds it plus one; after a failed attempt, the peer's observed d̂)
+	// lands outside the prior's own spread, the workload moved and the
+	// smoothed mean lags behind — size to the outcome until the EWMA
+	// catches up. Ordinary fluctuations inside the spread stay with the
+	// mean; chasing every above-mean draw would oversize most warm plans.
+	// The legacy specAvoid hop deliberately does not apply here: under
+	// adaptive mode a completed multi-round sync is the plan behaving
+	// normally (a collision draw), not a bound to avoid, and hopping the
+	// bound would oversize every subsequent warm plan.
+	if p := s.specPrior.Load(); p > 0 && s.prior.shifted(float64(p-1)) {
+		if last := p - 1 + specPredictHeadroom; last > spec {
+			spec = last
+		}
+	}
+	return spec
+}
+
+// crossCheckedEstimate is the large-d estimator selection: the median of
+// the ToW, Strata, and MinWise difference estimates over the two in-process
+// views. The three families fail independently — ToW by sketch variance,
+// Strata by ladder extrapolation, MinWise by Jaccard resolution — so the
+// median trims any single family's tail draw. Falls back to the ToW value
+// alone if a cross-check estimator errors.
+func crossCheckedEstimate(towD float64, opt Options, mine, remote *SharedSet) float64 {
+	st := estimator.NewStrata(opt.Seed ^ strataSeedTweak)
+	strataD, err := st.Estimate(st.Sketch(mine.snap.Elements()), st.Sketch(remote.snap.Elements()))
+	if err != nil {
+		return towD
+	}
+	mw, err := estimator.NewMinWise(opt.EstimatorSketches, opt.Seed^minwiseSeedTweak)
+	if err != nil {
+		return towD
+	}
+	minwiseD, err := mw.Estimate(mw.Sketch(mine.snap.Elements()), mw.Sketch(remote.snap.Elements()), mine.Len(), remote.Len())
+	if err != nil {
+		return towD
+	}
+	return median3(towD, strataD, minwiseD)
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

@@ -85,14 +85,15 @@ type hostedSet struct {
 	h    *hostedStore
 	name string
 
-	mu        sync.Mutex
-	meta      setstore.Meta // cumulative; kept current on every update
-	elems     []uint64      // sorted; nil when cold
-	view      *SharedSet    // cached until mutation or demotion invalidates it
-	resident  bool
-	persisted bool                // at least one full segment on disk
-	dirtyAdds map[uint64]struct{} // changes since the last persisted segment
-	dirtyDels map[uint64]struct{}
+	mu         sync.Mutex
+	meta       setstore.Meta // cumulative; kept current on every update
+	elems      []uint64      // sorted; nil when cold
+	view       *SharedSet    // cached until mutation or demotion invalidates it
+	resident   bool
+	persisted  bool                // at least one full segment on disk
+	priorDirty bool                // d̂ prior advanced since the last persisted footer
+	dirtyAdds  map[uint64]struct{} // changes since the last persisted segment
+	dirtyDels  map[uint64]struct{}
 
 	// lruPos and charge are guarded by h.mu (LRU bookkeeping), not mu.
 	lruPos *list.Element
@@ -172,6 +173,7 @@ func (hs *hostedSet) sharedView() (*SharedSet, error) {
 				hs.mu.Unlock()
 				return nil, err
 			}
+			v.observeDhat = hs.observeDhat
 			hs.view = v
 		}
 	}
@@ -187,6 +189,19 @@ func (hs *hostedSet) sharedView() (*SharedSet, error) {
 // server's protocol options.
 func (hs *hostedSet) sessionOptions() Options { return hs.h.opt }
 
+// observeDhat folds one answered difference estimate into the set's
+// persisted d̂ prior (EWMA mean and variance in the segment footer). It is
+// installed as SharedSet.observeDhat on every view this set hands out, so
+// each estimate a session answers — resident or lazy — advances the prior;
+// the next footer write carries it across restarts.
+func (hs *hostedSet) observeDhat(dhat uint64) {
+	hs.mu.Lock()
+	hs.meta.PriorMean, hs.meta.PriorVar, hs.meta.PriorCount =
+		ewmaObserve(hs.meta.PriorMean, hs.meta.PriorVar, hs.meta.PriorCount, float64(dhat))
+	hs.priorDirty = true
+	hs.mu.Unlock()
+}
+
 func (hs *hostedSet) digestLocked() msethash.Digest {
 	d, _ := msethash.DigestFromBytes(hs.meta.Digest)
 	return d
@@ -200,7 +215,7 @@ func (hs *hostedSet) residentViewLocked() (*SharedSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	ss := &SharedSet{opt: hs.h.opt, snap: snap, tow: hs.h.tow}
+	ss := &SharedSet{opt: hs.h.opt, snap: snap, tow: hs.h.tow, observeDhat: hs.observeDhat}
 	sketch := slices.Clone(hs.meta.Sketch)
 	digest := hs.digestLocked()
 	ss.sketchOnce.Do(func() { ss.sketch = sketch })
@@ -320,10 +335,11 @@ func (hs *hostedSet) flushLocked() error {
 			return err
 		}
 		hs.persisted = true
+		hs.priorDirty = false
 		hs.dirtyAdds, hs.dirtyDels = nil, nil
 		return nil
 	}
-	if len(hs.dirtyAdds) == 0 && len(hs.dirtyDels) == 0 {
+	if len(hs.dirtyAdds) == 0 && len(hs.dirtyDels) == 0 && !hs.priorDirty {
 		return nil
 	}
 	adds := make([]uint64, 0, len(hs.dirtyAdds))
@@ -337,15 +353,28 @@ func (hs *hostedSet) flushLocked() error {
 	if err := hs.h.store.AppendDelta(hs.name, adds, dels, hs.meta); err != nil {
 		return err
 	}
+	hs.priorDirty = false
 	hs.dirtyAdds, hs.dirtyDels = nil, nil
 	return nil
 }
 
-// flush persists dirty state without demoting (shutdown path).
+// flush persists dirty state without demoting (shutdown path). A cold set
+// can still carry a dirty prior (its lazy view answers estimates), which
+// persists as an element-free delta; element writes require materialized
+// elems.
 func (hs *hostedSet) flush() error {
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
-	if hs.h.store == nil || hs.elems == nil {
+	if hs.h.store == nil {
+		return nil
+	}
+	if hs.elems == nil {
+		if hs.priorDirty && hs.persisted {
+			if err := hs.h.store.AppendDelta(hs.name, nil, nil, hs.meta); err != nil {
+				return err
+			}
+			hs.priorDirty = false
+		}
 		return nil
 	}
 	return hs.flushLocked()

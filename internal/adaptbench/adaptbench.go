@@ -1,0 +1,184 @@
+// Package adaptbench measures the online adaptive controller against the
+// paper-fixed configuration over real wire syncs (net.Pipe pairs driving
+// Set.Sync against Set.Respond). It lives apart from the exper harness
+// because it exercises the public pbs API — exper is imported by the pbs
+// package's own benchmarks, so importing pbs from there would cycle.
+package adaptbench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+
+	"pbs"
+)
+
+// AdaptivePoint compares the adaptive controller against the paper-fixed
+// configuration at one difference size, over real wire syncs. Byte and
+// round figures are means per sync; the fixed arm uses a fresh Set per
+// sync with WithAdaptive(false) — every parameter exactly as planned from
+// the static d̂ path with the stock speculation — while the adaptive arm
+// reuses one warm Set whose learned prior sizes each speculation, with no
+// hand-set KnownD anywhere.
+type AdaptivePoint struct {
+	D              int     `json:"d"`
+	Syncs          int     `json:"syncs"`
+	FixedBytes     float64 `json:"fixed_bytes"`
+	AdaptiveBytes  float64 `json:"adaptive_bytes"`
+	FixedRounds    float64 `json:"fixed_rounds"`
+	AdaptiveRounds float64 `json:"adaptive_rounds"`
+	Replans        float64 `json:"replans_per_sync"`
+}
+
+// adaptiveRemote derives a peer set at symmetric difference exactly d from
+// a: remove d/2 random members, add d-d/2 fresh non-members. Returns the
+// peer and the ground-truth difference.
+func adaptiveRemote(a []uint64, d int, rng *rand.Rand) (b, diff []uint64) {
+	drop := d / 2
+	add := d - drop
+	in := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		in[x] = struct{}{}
+	}
+	perm := rng.Perm(len(a))[:drop]
+	dropped := make(map[int]struct{}, drop)
+	for _, i := range perm {
+		dropped[i] = struct{}{}
+		diff = append(diff, a[i])
+	}
+	b = make([]uint64, 0, len(a)-drop+add)
+	for i, x := range a {
+		if _, ok := dropped[i]; !ok {
+			b = append(b, x)
+		}
+	}
+	for len(b) < len(a)-drop+add {
+		x := uint64(rng.Uint32())
+		if _, ok := in[x]; ok {
+			continue
+		}
+		in[x] = struct{}{}
+		b = append(b, x)
+		diff = append(diff, x)
+	}
+	return b, diff
+}
+
+// adaptiveSync runs one full wire sync (net.Pipe) between initiator and a
+// fresh responder built from b, verifying exact convergence.
+func adaptiveSync(initiator *pbs.Set, b, want []uint64, opt pbs.Options, adaptive bool) (*pbs.Result, error) {
+	responder, err := pbs.NewSet(b, pbs.WithOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	ca, cb := net.Pipe()
+	respErr := make(chan error, 1)
+	go func() {
+		defer cb.Close()
+		respErr <- responder.Respond(context.Background(), cb, pbs.WithAdaptive(adaptive))
+	}()
+	res, err := initiator.Sync(context.Background(), ca,
+		pbs.WithFastSync(true), pbs.WithAdaptive(adaptive))
+	ca.Close()
+	if err != nil {
+		return nil, err
+	}
+	if err := <-respErr; err != nil {
+		return nil, err
+	}
+	if !res.Complete {
+		return nil, fmt.Errorf("incomplete after %d rounds", res.Rounds)
+	}
+	got := append([]uint64(nil), res.Difference...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	exp := append([]uint64(nil), want...)
+	sort.Slice(exp, func(i, j int) bool { return exp[i] < exp[j] })
+	if len(got) != len(exp) {
+		return nil, fmt.Errorf("difference has %d elements, want %d", len(got), len(exp))
+	}
+	for i := range got {
+		if got[i] != exp[i] {
+			return nil, fmt.Errorf("difference mismatch at %d", i)
+		}
+	}
+	return res, nil
+}
+
+// AdaptiveSweep measures adaptive vs paper-fixed syncing at each d. Both
+// arms sync the same (initiator, peer_j) sequence — the peer drifts by
+// exactly d elements between syncs — and are measured identically from
+// the initiator's Result. The fixed arm rebuilds the initiator each sync
+// (no memory, stock DefaultSpeculativeD); the adaptive arm keeps it warm
+// so the learned prior sizes speculation from the second sync on.
+func AdaptiveSweep(ds []int, sizeA, syncs int, seed int64, progress io.Writer) ([]AdaptivePoint, error) {
+	if syncs < 2 {
+		syncs = 2
+	}
+	var out []AdaptivePoint
+	for _, d := range ds {
+		opt := pbs.Options{Seed: uint64(seed) + uint64(d)}
+		rng := rand.New(rand.NewSource(seed + int64(d)*7919))
+		base := make([]uint64, 0, sizeA)
+		seen := make(map[uint64]struct{}, sizeA)
+		for len(base) < sizeA {
+			x := uint64(rng.Uint32())
+			if _, ok := seen[x]; ok {
+				continue
+			}
+			seen[x] = struct{}{}
+			base = append(base, x)
+		}
+		// Per-sync drift varies ±25% around the nominal d: real churn is not
+		// constant, and the spread exercises the prior's variance term.
+		peers := make([][]uint64, syncs)
+		diffs := make([][]uint64, syncs)
+		for j := range peers {
+			dj := d - d/4 + rng.Intn(d/2+1)
+			if dj < 1 {
+				dj = 1
+			}
+			peers[j], diffs[j] = adaptiveRemote(base, dj, rng)
+		}
+
+		warm, err := pbs.NewSet(base, pbs.WithOptions(opt))
+		if err != nil {
+			return nil, err
+		}
+		pt := AdaptivePoint{D: d, Syncs: syncs}
+		for j := 0; j < syncs; j++ {
+			res, err := adaptiveSync(warm, peers[j], diffs[j], opt, true)
+			if err != nil {
+				return nil, fmt.Errorf("exper: adaptive arm d=%d sync %d: %w", d, j, err)
+			}
+			pt.AdaptiveBytes += float64(res.WireBytes)
+			pt.AdaptiveRounds += float64(res.Rounds)
+			pt.Replans += float64(res.Replans)
+
+			fixed, err := pbs.NewSet(base, pbs.WithOptions(opt))
+			if err != nil {
+				return nil, err
+			}
+			fres, err := adaptiveSync(fixed, peers[j], diffs[j], opt, false)
+			if err != nil {
+				return nil, fmt.Errorf("exper: fixed arm d=%d sync %d: %w", d, j, err)
+			}
+			pt.FixedBytes += float64(fres.WireBytes)
+			pt.FixedRounds += float64(fres.Rounds)
+		}
+		n := float64(syncs)
+		pt.FixedBytes /= n
+		pt.AdaptiveBytes /= n
+		pt.FixedRounds /= n
+		pt.AdaptiveRounds /= n
+		pt.Replans /= n
+		out = append(out, pt)
+		if progress != nil {
+			fmt.Fprintf(progress, "d=%-7d fixed %8.0fB %.2f rounds | adaptive %8.0fB %.2f rounds (%.2f replans/sync)\n",
+				d, pt.FixedBytes, pt.FixedRounds, pt.AdaptiveBytes, pt.AdaptiveRounds, pt.Replans)
+		}
+	}
+	return out, nil
+}

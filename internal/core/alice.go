@@ -7,6 +7,7 @@ import (
 
 	"pbs/internal/bch"
 	"pbs/internal/hashutil"
+	"pbs/internal/markov"
 	"pbs/internal/wire"
 )
 
@@ -36,6 +37,18 @@ type Alice struct {
 	sketchesSent int
 	awaiting     bool // a round message was built and its reply is pending
 
+	// Adaptive per-round re-planning (negotiated; see EnableAdaptive).
+	// curM/curT are the parameters of the round currently in flight; they
+	// start at the plan's values and, from round 2 on, are re-chosen per
+	// round from the Markov occupancy model. skM/skT track the shape the
+	// sketch scratch was built for.
+	adaptive bool
+	curM     uint
+	curT     int
+	skM      uint
+	skT      int
+	replans  int
+
 	encodeTime time.Duration // time spent building bitmaps and codewords
 	decodeTime time.Duration // time spent recovering and verifying elements
 
@@ -54,13 +67,16 @@ type Alice struct {
 }
 
 // getSums pops a zeroed bin-sum buffer (1-based, n+1 slots) off the free
-// list, or allocates one.
+// list, or allocates one. Wrong-sized buffers (left over from a round with
+// a different adaptive bitmap size) are discarded.
 func (a *Alice) getSums(n uint64) []uint64 {
-	if len(a.sumsPool) > 0 {
+	for len(a.sumsPool) > 0 {
 		s := a.sumsPool[len(a.sumsPool)-1]
 		a.sumsPool = a.sumsPool[:len(a.sumsPool)-1]
-		clear(s)
-		return s
+		if uint64(len(s)) == n+1 {
+			clear(s)
+			return s
+		}
 	}
 	return make([]uint64, n+1)
 }
@@ -97,6 +113,14 @@ type aliceScope struct {
 	binSums []uint64
 	binSeed uint64
 
+	// loadHint is the adaptive re-planner's upper estimate of how many
+	// unreconciled distinct elements this scope still holds, set when the
+	// scope survives a round with its checksum unverified; splitFresh
+	// marks a just-created split child, whose load is unknown — it forces
+	// the next round back onto the static plan (see replanRound).
+	loadHint   int
+	splitFresh bool
+
 	// pending tracks the scope's contribution to the learned difference —
 	// elements toggled an odd number of times so far. Maintained only when
 	// onDelta is set; when the scope verifies, pending is exactly the
@@ -118,6 +142,10 @@ func NewAlice(set []uint64, plan Plan) (*Alice, error) {
 		sd:      deriveSeeds(plan.Seed),
 		sigMask: sigMask(plan.SigBits),
 		diff:    make(map[uint64]struct{}),
+		curM:    plan.M,
+		curT:    plan.T,
+		skM:     plan.M,
+		skT:     plan.T,
 	}
 	scopes := make([]*aliceScope, plan.Groups)
 	for g := range scopes {
@@ -162,6 +190,10 @@ func NewAliceFromSnapshot(snap *Snapshot, plan Plan) (*Alice, error) {
 		sd:      deriveSeeds(plan.Seed),
 		sigMask: sigMask(plan.SigBits),
 		diff:    make(map[uint64]struct{}),
+		curM:    plan.M,
+		curT:    plan.T,
+		skM:     plan.M,
+		skT:     plan.T,
 	}
 	groups := snap.partition(plan.Groups)
 	scopes := make([]*aliceScope, plan.Groups)
@@ -198,6 +230,77 @@ func sigMask(bits uint) uint64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << bits) - 1
+}
+
+// EnableAdaptive switches the session to adaptive per-round re-planning:
+// from round 2 on, BuildRound re-chooses the bitmap degree and BCH
+// capacity for each round from the Markov occupancy model (markov.Replan)
+// using the surviving scopes' load estimates, and prefixes the round
+// message with the chosen (m, t). Both endpoints must agree — the peer Bob
+// must have EnableAdaptive called too — and it must be enabled before the
+// second round is built. Round 1 always uses the static plan, so the
+// fast-sync speculative round (built before the peer's capabilities are
+// known) is unaffected.
+func (a *Alice) EnableAdaptive() { a.adaptive = true }
+
+// Replans returns how many rounds were adaptively re-planned away from
+// the static plan's parameters.
+func (a *Alice) Replans() int { return a.replans }
+
+// survivorLoad is the load estimate for a scope whose BCH decoding
+// succeeded but whose checksum did not verify: the stragglers are the
+// elements that shared bins (type (I) exceptions, §2.3), overwhelmingly a
+// collision pair or two plus margin for a rare fake-element pass.
+const survivorLoad = 4
+
+// replanRound re-chooses (curM, curT) for the round about to be built.
+//
+// Rounds containing fresh split children replay the static plan: a split
+// means the plan's capacity was just overrun, so the load estimates are
+// unreliable in exactly the way that matters, and the plan's generous t is
+// the safe, known-runnable choice. Survivor-only rounds (checksum-failed
+// scopes whose decoding succeeded — the steady-state exception path) are
+// re-planned, with two guards that keep the deviation a strict
+// improvement over replaying the plan:
+//
+//   - The success target is the static plan's own one-round success at
+//     this load, not an absolute bound. With capacity t ≥ load, success
+//     depends only on the bitmap size, so demanding an absolute 0.99
+//     would inflate the bitmap well past the plan's when the plan itself
+//     tolerates a retry — paying more bits for fewer expected rounds the
+//     replay never promised.
+//   - The deviation must be strictly cheaper than the replay's
+//     (t + load)·m bits; otherwise the round replays the plan. Survivor
+//     capacity t ≈ load + 2, not the plan's t sized for 2.5δ errors, is
+//     where the savings come from — dramatic when the plan was built for
+//     a large d.
+func (a *Alice) replanRound() {
+	load := 0
+	for _, sc := range a.active {
+		if sc.splitFresh {
+			a.curM, a.curT = a.plan.M, a.plan.T
+			return
+		}
+		load = max(load, sc.loadHint)
+	}
+	if load < 1 {
+		load = 1
+	}
+	target := DefaultTargetSuccess
+	if c, err := markov.NewChain((uint64(1)<<a.plan.M)-1, a.plan.T); err == nil {
+		if p := c.SuccessProb(load, 1); p < target {
+			target = p
+		}
+	}
+	p, err := markov.Replan(load, 1, target)
+	if err != nil || p.BitsPerGroup >= (a.plan.T+load)*int(a.plan.M) {
+		a.curM, a.curT = a.plan.M, a.plan.T
+		return
+	}
+	if p.M != a.plan.M || p.T != a.plan.T {
+		a.replans++
+	}
+	a.curM, a.curT = p.M, p.T
 }
 
 // Done reports whether every scope has passed checksum verification.
@@ -237,17 +340,28 @@ func (a *Alice) BuildRound() ([]byte, error) {
 		return nil, nil
 	}
 	a.round++
-	n := a.plan.N()
+	if a.adaptive && a.round >= 2 {
+		a.replanRound()
+	}
+	n := (uint64(1) << a.curM) - 1
 	nw := a.plan.workers()
 	// Grow the long-lived scratch to this round's shape; in steady state
-	// every buffer below is a reuse.
+	// every buffer below is a reuse. An adaptive (m, t) change invalidates
+	// the sketch scratch wholesale.
+	if a.skM != a.curM || a.skT != a.curT {
+		a.sketches = a.sketches[:0]
+		a.skM, a.skT = a.curM, a.curT
+	}
 	for len(a.parity) < nw {
 		a.parity = append(a.parity, nil)
 	}
 	for len(a.sketches) < len(a.active) {
-		a.sketches = append(a.sketches, bch.MustNew(a.plan.M, a.plan.T))
+		a.sketches = append(a.sketches, bch.MustNew(a.curM, a.curT))
 	}
 	for _, sc := range a.active {
+		if sc.binSums != nil && uint64(len(sc.binSums)) != n+1 {
+			sc.binSums = nil // wrong adaptive size; drop, don't pool
+		}
 		if sc.binSums == nil {
 			sc.binSums = a.getSums(n)
 		} else {
@@ -282,6 +396,14 @@ func (a *Alice) BuildRound() ([]byte, error) {
 	serStart := time.Now()
 	w := wire.NewWriter()
 	w.WriteUvarint(uint64(a.round))
+	if a.adaptive && a.round >= 2 {
+		// Adaptive rounds carry their own parameters: the static plan no
+		// longer predicts them. Round 1 never does — it is built before the
+		// adaptive grant can be known — so both endpoints key on the round
+		// number alone.
+		w.WriteUvarint(uint64(a.curM))
+		w.WriteUvarint(uint64(a.curT))
+	}
 	w.WriteUvarint(uint64(len(a.active)))
 	for i, sc := range a.active {
 		writeScopeID(w, sc.id)
@@ -341,6 +463,7 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 		return fmt.Errorf("core: AbsorbReply without an outstanding round")
 	}
 	a.awaiting = false
+	n := (uint64(1) << a.curM) - 1 // the in-flight round's bitmap size
 	parseStart := time.Now()
 	r := wire.NewReader(reply)
 	if cap(a.parsed) < len(a.active) {
@@ -364,11 +487,11 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 		if err != nil {
 			return fmt.Errorf("core: truncated reply: %w", err)
 		}
-		if count > a.plan.N() {
+		if count > n {
 			return fmt.Errorf("core: reply position count %d exceeds bitmap size", count)
 		}
 		for j := uint64(0); j < count; j++ {
-			v, err := r.ReadBits(a.plan.M)
+			v, err := r.ReadBits(a.curM)
 			if err != nil {
 				return fmt.Errorf("core: truncated reply: %w", err)
 			}
@@ -415,7 +538,7 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 		}
 		ck := sc.checksum
 		for j, pos := range p.positions {
-			if pos == 0 || pos > a.plan.N() {
+			if pos == 0 || pos > n {
 				errs.set(i, fmt.Errorf("core: reply position %d out of range", pos))
 				return
 			}
@@ -445,6 +568,9 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 		if out.splits != nil {
 			a.putSums(sc.binSums)
 			sc.binSums = nil
+			for _, child := range out.splits {
+				child.splitFresh = true
+			}
 			next = append(next, out.splits...)
 			continue
 		}
@@ -467,6 +593,8 @@ func (a *Alice) AbsorbReply(reply []byte) error {
 				sc.pending = nil
 			}
 		} else {
+			sc.loadHint = survivorLoad
+			sc.splitFresh = false
 			next = append(next, sc)
 		}
 	}
@@ -489,7 +617,7 @@ func (a *Alice) acceptRecovered(sc *aliceScope, s uint64, pos uint64) bool {
 	if s == 0 || s&^a.sigMask != 0 {
 		return false
 	}
-	if hashutil.Bin(s, sc.binSeed, a.plan.N()) != pos {
+	if hashutil.Bin(s, sc.binSeed, (uint64(1)<<a.curM)-1) != pos {
 		return false
 	}
 	if a.sd.groupOf(s, a.plan.Groups) != sc.id.group {

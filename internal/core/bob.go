@@ -45,7 +45,24 @@ type Bob struct {
 	xorBufs     [][]uint64
 	jobs        []bobScopeJob
 	replies     []bobScopeReply
+
+	// Adaptive per-round re-planning (negotiated; see EnableAdaptive):
+	// rounds >= 2 carry their own (m, t) in the round header. curM/curT are
+	// the parameters the scratch buffers are currently shaped for.
+	adaptive bool
+	curM     uint
+	curT     int
+	replans  int
 }
+
+// EnableAdaptive tells Bob to expect adaptive round headers: every round
+// message with round number >= 2 carries its own (m, t) ahead of the scope
+// count. Must match the peer Alice's EnableAdaptive.
+func (b *Bob) EnableAdaptive() { b.adaptive = true }
+
+// Replans returns how many rounds Bob served whose adaptive header chose
+// parameters different from the static plan.
+func (b *Bob) Replans() int { return b.replans }
 
 // EncodeTime returns the cumulative time Bob spent encoding (hash
 // partitioning, parity bitmaps, XOR sums, BCH sketches).
@@ -79,6 +96,8 @@ func newBobWithGroups(groups [][]uint64, plan Plan) *Bob {
 		groups:    groups,
 		scopeSets: make(map[scopeID][]uint64),
 		checksums: make(map[scopeID]uint64),
+		curM:      plan.M,
+		curT:      plan.T,
 	}
 }
 
@@ -172,6 +191,39 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: bad round header: %w", err)
 	}
+	m, t := b.plan.M, b.plan.T
+	if b.adaptive && round >= 2 {
+		mv, err := r.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("core: bad adaptive round header: %w", err)
+		}
+		tv, err := r.ReadUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("core: bad adaptive round header: %w", err)
+		}
+		// Bound what a peer can make this side allocate: the per-worker
+		// bin-sum and parity buffers are (n+1)-sized and BCH decoding is
+		// superlinear in t.
+		if mv < 2 || mv > maxAdaptiveM {
+			return nil, fmt.Errorf("core: adaptive bitmap degree m=%d out of range", mv)
+		}
+		an := (uint64(1) << mv) - 1
+		if tv < 1 || tv > an/2 || tv > maxAdaptiveT {
+			return nil, fmt.Errorf("core: adaptive capacity t=%d invalid for n=%d", tv, an)
+		}
+		m, t = uint(mv), int(tv)
+		if m != b.plan.M || t != b.plan.T {
+			b.replans++
+		}
+	}
+	if m != b.curM || t != b.curT {
+		// New round shape: the sketch scratch (sized per codeword) is stale.
+		b.jobSketches = b.jobSketches[:0]
+		for i := range b.scratch {
+			b.scratch[i].sketch = nil
+		}
+		b.curM, b.curT = m, t
+	}
 	nScopes, err := r.ReadUvarint()
 	if err != nil {
 		return nil, fmt.Errorf("core: bad round header: %w", err)
@@ -182,7 +234,7 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 	if nScopes > uint64(b.plan.Groups)*64+(1<<16) {
 		return nil, fmt.Errorf("core: implausible scope count %d", nScopes)
 	}
-	n := b.plan.N()
+	n := (uint64(1) << b.curM) - 1
 	// Grow jobs as scopes parse successfully rather than pre-allocating by
 	// the peer-claimed count: a tiny frame claiming the plausibility cap
 	// must not force a multi-megabyte allocation before validation.
@@ -198,7 +250,7 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 		// Parse Alice's codeword into a long-lived per-index sketch instead
 		// of allocating one per scope per round.
 		if int(s) >= len(b.jobSketches) {
-			b.jobSketches = append(b.jobSketches, bch.MustNew(b.plan.M, b.plan.T))
+			b.jobSketches = append(b.jobSketches, bch.MustNew(b.curM, b.curT))
 		}
 		aliceSketch := b.jobSketches[s]
 		if err := aliceSketch.ReadInto(r); err != nil {
@@ -244,8 +296,10 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 			clear(sc.parity)
 		}
 		if sc.sketch == nil {
-			sc.sketch = bch.MustNew(b.plan.M, b.plan.T)
-			sc.dec = bch.NewDecoder()
+			sc.sketch = bch.MustNew(b.curM, b.curT)
+			if sc.dec == nil {
+				sc.dec = bch.NewDecoder()
+			}
 		}
 		job := &jobs[i]
 		encStart := time.Now()
@@ -296,13 +350,13 @@ func (b *Bob) HandleRound(msg []byte) ([]byte, error) {
 		out.WriteBool(true)
 		out.WriteUvarint(uint64(len(rep.positions)))
 		for _, p := range rep.positions {
-			out.WriteBits(p, b.plan.M)
+			out.WriteBits(p, b.curM)
 		}
 		for _, x := range rep.xors {
 			out.WriteBits(x, b.plan.SigBits)
 		}
 		out.WriteBits(b.checksum(jobs[i].id, jobs[i].set), b.plan.SigBits)
-		b.payloadBits += len(rep.positions)*int(b.plan.M) +
+		b.payloadBits += len(rep.positions)*int(b.curM) +
 			len(rep.positions)*int(b.plan.SigBits) + int(b.plan.SigBits)
 		b.positionsSent += len(rep.positions)
 		b.checksumsSent++

@@ -33,6 +33,16 @@ const (
 	DefaultSigBits       = 32   // signature length log|U| (§8)
 )
 
+// maxAdaptiveM and maxAdaptiveT bound the per-round (m, t) an adaptive
+// round header may demand, independently of Plan.validate's static range:
+// a hostile peer must not be able to force huge (n+1)-sized bin buffers or
+// superlinear BCH decoding by claiming absurd parameters mid-session.
+// markov.Replan never exceeds m=12, t=258; these caps leave headroom.
+const (
+	maxAdaptiveM = 16
+	maxAdaptiveT = 1 << 11
+)
+
 // DefaultMaxRounds is the round cap applied when Config.MaxRounds asks for
 // an "unlimited" session (<= 0). PBS converges in a handful of rounds with
 // overwhelming probability — the paper's round budget r is 3 — so reaching

@@ -19,6 +19,12 @@
 // rigorous overall lower bound 1 − 2(1 − α^g) (Appendix F), the optimal
 // (n, t) parameters (§5.1), and the piecewise-reconciliability profile
 // (§5.3, Appendix G).
+//
+// The model serves two callers: the offline plan optimizer (Optimize,
+// reproducing the paper's tables) and the online adaptive controller —
+// Replan re-derives memoized (m, t) parameters per round from the live
+// survivor count, which internal/core's endpoints apply on rounds ≥ 2 of
+// sessions that negotiated adaptive mode.
 package markov
 
 import (

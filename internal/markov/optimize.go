@@ -62,6 +62,74 @@ func Optimize(d, delta, r int, p0 float64) (Params, error) {
 	return best, nil
 }
 
+// ReplanMGrid is the bitmap-size grid Replan searches. It reaches below
+// DefaultMGrid because late-round scopes hold a handful of stragglers —
+// a 15- or 31-bin bitmap is often plenty — and slightly above it for
+// grossly mis-estimated scopes.
+var ReplanMGrid = []uint{4, 5, 6, 7, 8, 9, 10, 11, 12}
+
+// maxReplanLoad caps the per-scope load Replan models exactly. A scope
+// holding more distinct elements than this should be (and is) rescued by
+// the 3-way split, not by a bigger BCH code; the cap also bounds the
+// O(t³) chain DP.
+const maxReplanLoad = 256
+
+// replanHeadroom is the extra BCH capacity Replan grants beyond the load
+// estimate, so an off-by-a-couple estimate still decodes.
+const replanHeadroom = 2
+
+// Replan picks fresh per-round (m, t) parameters for the *next* round of
+// an in-flight reconciliation, given an upper estimate of the heaviest
+// surviving scope's unreconciled-element count ("load") and the number of
+// further rounds the caller wants the survivors gone within. It is the
+// online counterpart of Optimize: where Optimize plans r rounds ahead from
+// a binomial split of d̂, Replan is called between rounds, when the decode
+// outcomes have revealed the actual survivors.
+//
+// With capacity t ≥ load the chain models the scope exactly — every
+// reachable state fits below the cap, so Pr[load →rounds 0] = (M^rounds)
+// (load, 0) depends only on the bitmap size n. The objective (t + load)·m
+// (Formula (1)'s non-constant part, with the realized load in place of δ)
+// is therefore minimized by the smallest feasible bitmap with
+// t = load + headroom. If even the largest grid bitmap cannot reach p0,
+// Replan returns the best it found (largest n) with its achieved Bound;
+// overload beyond that is the 3-way split path's job.
+func Replan(load, rounds int, p0 float64) (Params, error) {
+	if load < 1 {
+		return Params{}, fmt.Errorf("markov: replan load=%d must be >= 1", load)
+	}
+	if rounds < 1 {
+		return Params{}, fmt.Errorf("markov: replan rounds=%d must be >= 1", rounds)
+	}
+	if p0 <= 0 || p0 >= 1 {
+		return Params{}, fmt.Errorf("markov: target probability p0=%v out of (0,1)", p0)
+	}
+	if load > maxReplanLoad {
+		load = maxReplanLoad
+	}
+	t := load + replanHeadroom
+	var best Params
+	for _, m := range ReplanMGrid {
+		n := (uint64(1) << m) - 1
+		if uint64(t) > n/2 {
+			continue
+		}
+		c, err := NewChain(n, t)
+		if err != nil {
+			continue
+		}
+		p := c.SuccessProb(load, rounds)
+		best = Params{M: m, T: t, BitsPerGroup: (t + load) * int(m), Bound: p}
+		if p >= p0 {
+			return best, nil
+		}
+	}
+	if best.M == 0 {
+		return Params{}, fmt.Errorf("markov: replan load=%d exceeds every grid bitmap", load)
+	}
+	return best, nil
+}
+
 // NumGroups returns g = max(1, round(d/δ)) (§3).
 func NumGroups(d, delta int) int {
 	g := int(math.Round(float64(d) / float64(delta)))

@@ -1,0 +1,90 @@
+package markov
+
+import "testing"
+
+func TestReplanMeetsTarget(t *testing.T) {
+	for _, load := range []int{1, 2, 3, 5, 8, 13, 21, 40} {
+		p, err := Replan(load, 2, 0.99)
+		if err != nil {
+			t.Fatalf("Replan(%d): %v", load, err)
+		}
+		if p.Bound < 0.99 {
+			t.Fatalf("Replan(%d) bound %.4f < 0.99 (m=%d t=%d)", load, p.Bound, p.M, p.T)
+		}
+		if p.T < load {
+			t.Fatalf("Replan(%d) capacity t=%d below load", load, p.T)
+		}
+		c := MustChain(p.N(), p.T)
+		if got := c.SuccessProb(load, 2); got != p.Bound {
+			t.Fatalf("Replan(%d) bound %.6f != chain success %.6f", load, p.Bound, got)
+		}
+	}
+}
+
+// Replan's objective (t+load)·m shrinks when fewer elements survive: a
+// lighter load must never be planned onto a costlier round than a heavier
+// one at the same target.
+func TestReplanMonotoneCost(t *testing.T) {
+	prev := 0
+	for _, load := range []int{1, 3, 6, 12, 25, 50} {
+		p, err := Replan(load, 2, 0.99)
+		if err != nil {
+			t.Fatalf("Replan(%d): %v", load, err)
+		}
+		if p.BitsPerGroup < prev {
+			t.Fatalf("cost not monotone: load=%d costs %d bits < previous %d", load, p.BitsPerGroup, prev)
+		}
+		prev = p.BitsPerGroup
+	}
+}
+
+// Small loads should land on bitmaps below the offline grid's 63-bin
+// floor — that headroom is where the adaptive rounds save their bytes.
+func TestReplanUsesSmallBitmaps(t *testing.T) {
+	p, err := Replan(1, 2, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.M >= 6 {
+		t.Fatalf("Replan(1) chose m=%d; expected below the offline m=6 floor", p.M)
+	}
+}
+
+// A tighter round budget can only demand a bigger (costlier) bitmap.
+func TestReplanTighterBudgetCostsMore(t *testing.T) {
+	one, err := Replan(4, 1, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Replan(4, 2, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.M < two.M {
+		t.Fatalf("1-round plan m=%d smaller than 2-round plan m=%d", one.M, two.M)
+	}
+}
+
+func TestReplanOverload(t *testing.T) {
+	// Far beyond any grid bitmap's 2-round guarantee: still returns
+	// runnable parameters with an honest (sub-p0) bound.
+	p, err := Replan(100000, 2, 0.99)
+	if err != nil {
+		t.Fatalf("Replan overload: %v", err)
+	}
+	if p.M != ReplanMGrid[len(ReplanMGrid)-1] {
+		t.Fatalf("overload should pick the largest bitmap, got m=%d", p.M)
+	}
+}
+
+func TestReplanRejectsBadInputs(t *testing.T) {
+	if _, err := Replan(0, 2, 0.99); err == nil {
+		t.Fatal("Replan accepted load=0")
+	}
+	if _, err := Replan(5, 0, 0.99); err == nil {
+		t.Fatal("Replan accepted rounds=0")
+	}
+	if _, err := Replan(5, 2, 1.0); err == nil {
+		t.Fatal("Replan accepted p0=1")
+	}
+}

@@ -1,0 +1,84 @@
+package setstore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSegmentPriorRoundTrip(t *testing.T) {
+	seg := &Segment{
+		Adds: []uint64{3, 7, 9},
+		Meta: Meta{
+			Full:       true,
+			Count:      3,
+			SketchSeed: 11,
+			Sketch:     []int64{1, -2, 3},
+			Digest:     []byte{0xaa, 0xbb},
+			PriorMean:  412.5,
+			PriorVar:   1000.25,
+			PriorCount: 17,
+		},
+	}
+	raw := AppendSegment(nil, seg)
+
+	meta, err := DecodeMeta(raw)
+	if err != nil {
+		t.Fatalf("DecodeMeta: %v", err)
+	}
+	if meta.PriorMean != 412.5 || meta.PriorVar != 1000.25 || meta.PriorCount != 17 {
+		t.Fatalf("prior did not round-trip: %+v", meta)
+	}
+
+	dec, err := DecodeSegment(raw)
+	if err != nil {
+		t.Fatalf("DecodeSegment: %v", err)
+	}
+	if dec.Meta.PriorMean != 412.5 || dec.Meta.PriorVar != 1000.25 || dec.Meta.PriorCount != 17 {
+		t.Fatalf("prior did not round-trip through full decode: %+v", dec.Meta)
+	}
+}
+
+// A segment written without a prior must be byte-for-byte the pre-prior
+// format (flagPrior clear, no trailing fields) and decode to zero prior.
+func TestSegmentNoPriorBackwardCompat(t *testing.T) {
+	seg := &Segment{
+		Adds: []uint64{1, 2},
+		Meta: Meta{Full: true, Count: 2, SketchSeed: 5, Sketch: []int64{0}, Digest: []byte{1}},
+	}
+	raw := AppendSegment(nil, seg)
+
+	_, footer, err := splitSegment(raw, true)
+	if err != nil {
+		t.Fatalf("splitSegment: %v", err)
+	}
+	if footer[0]&flagPrior != 0 {
+		t.Fatalf("flagPrior set on a segment with no prior (flags=%#x)", footer[0])
+	}
+
+	meta, err := DecodeMeta(raw)
+	if err != nil {
+		t.Fatalf("DecodeMeta: %v", err)
+	}
+	if meta.PriorCount != 0 || meta.PriorMean != 0 || meta.PriorVar != 0 {
+		t.Fatalf("phantom prior decoded: %+v", meta)
+	}
+}
+
+func TestSegmentPriorRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		meta Meta
+	}{
+		{"nan mean", Meta{Count: 1, PriorMean: math.NaN(), PriorVar: 1, PriorCount: 1}},
+		{"inf var", Meta{Count: 1, PriorMean: 1, PriorVar: math.Inf(1), PriorCount: 1}},
+		{"negative mean", Meta{Count: 1, PriorMean: -3, PriorVar: 1, PriorCount: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := AppendSegment(nil, &Segment{Adds: []uint64{1}, Meta: tc.meta})
+			if _, err := DecodeMeta(raw); err == nil {
+				t.Fatalf("DecodeMeta accepted %s", tc.name)
+			}
+		})
+	}
+}

@@ -16,10 +16,13 @@
 //	body:   uvarint(#adds)  adds as delta varints (sorted, strictly increasing)
 //	        uvarint(#dels)  dels as delta varints
 //	footer: uvarint(flags)  bit0 = full rewrite (body adds are the whole set)
+//	                        bit1 = footer carries a learned d̂ prior
 //	        uvarint(count)  cumulative set size after applying this segment
 //	        uvarint(sketch seed)
 //	        uvarint(sketch len l), l zigzag varints (cumulative ToW sketch)
 //	        uvarint(digest len), digest bytes (cumulative msethash digest)
+//	        [bit1 only] uvarint(Float64bits prior mean) uvarint(Float64bits
+//	        prior variance) uvarint(prior sync count)
 //	tail:   u32le footerLen | u32le bodyCRC | u32le footerCRC | "PBSSEG01"
 //
 // The fixed 20-byte tail at the end of the file is what makes footer-only
@@ -31,6 +34,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 )
 
 // segMagic terminates every segment file. Bump the trailing digits on any
@@ -43,6 +47,12 @@ const tailLen = 4 + 4 + 4 + len(segMagic)
 // flagFull marks a full-rewrite segment: its adds are the complete set and
 // replay ignores everything older.
 const flagFull = 1
+
+// flagPrior marks a footer that carries a learned d̂ prior after the
+// digest. Older readers reject unknown footer bytes, but older segments
+// (no flag, no bytes) still decode under this reader, so the magic does
+// not need to change.
+const flagPrior = 2
 
 // maxSegmentElems bounds the element counts a decoder will allocate for,
 // guarding header-claims-huge-count attacks from corrupt or fuzzed input.
@@ -60,6 +70,16 @@ type Meta struct {
 	SketchSeed uint64
 	Sketch     []int64
 	Digest     []byte
+
+	// PriorMean/PriorVar/PriorCount persist the set's learned d̂ prior
+	// (EWMA mean and variance of realized difference sizes, and how many
+	// syncs fed it) so a recovered set keeps its adaptive speculation
+	// across restarts. PriorCount == 0 means no prior: the fields are
+	// omitted from the footer entirely (flagPrior clear), keeping old
+	// segments and old readers compatible.
+	PriorMean  float64
+	PriorVar   float64
+	PriorCount uint64
 }
 
 // Segment is one decoded segment file.
@@ -98,6 +118,9 @@ func AppendSegment(dst []byte, seg *Segment) []byte {
 	if seg.Meta.Full {
 		flags |= flagFull
 	}
+	if seg.Meta.PriorCount > 0 {
+		flags |= flagPrior
+	}
 	dst = binary.AppendUvarint(dst, flags)
 	dst = binary.AppendUvarint(dst, seg.Meta.Count)
 	dst = binary.AppendUvarint(dst, seg.Meta.SketchSeed)
@@ -107,6 +130,11 @@ func AppendSegment(dst []byte, seg *Segment) []byte {
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(seg.Meta.Digest)))
 	dst = append(dst, seg.Meta.Digest...)
+	if seg.Meta.PriorCount > 0 {
+		dst = binary.AppendUvarint(dst, math.Float64bits(seg.Meta.PriorMean))
+		dst = binary.AppendUvarint(dst, math.Float64bits(seg.Meta.PriorVar))
+		dst = binary.AppendUvarint(dst, seg.Meta.PriorCount)
+	}
 	footerCRC := crc32.Checksum(dst[footerStart:], castagnoli)
 
 	var tail [tailLen]byte
@@ -238,6 +266,30 @@ func decodeFooter(footer []byte) (Meta, error) {
 	}
 	m.Digest = append([]byte(nil), footer[d.off:d.off+int(dl)]...)
 	d.off += int(dl)
+	if flags&flagPrior != 0 {
+		mb, err := d.uvarint()
+		if err != nil {
+			return m, err
+		}
+		vb, err := d.uvarint()
+		if err != nil {
+			return m, err
+		}
+		if m.PriorCount, err = d.uvarint(); err != nil {
+			return m, err
+		}
+		m.PriorMean = math.Float64frombits(mb)
+		m.PriorVar = math.Float64frombits(vb)
+		// Corrupt or fuzzed footers can smuggle NaN/Inf/negative floats or
+		// a zero count past the CRC-less DecodeMeta callers; a prior must
+		// be a plausible moment pair.
+		if m.PriorCount == 0 ||
+			math.IsNaN(m.PriorMean) || math.IsInf(m.PriorMean, 0) || m.PriorMean < 0 ||
+			math.IsNaN(m.PriorVar) || math.IsInf(m.PriorVar, 0) || m.PriorVar < 0 {
+			return m, fmt.Errorf("setstore: invalid prior (mean=%v var=%v count=%d)",
+				m.PriorMean, m.PriorVar, m.PriorCount)
+		}
+	}
 	if d.off != len(footer) {
 		return m, fmt.Errorf("setstore: %d trailing footer bytes", len(footer)-d.off)
 	}

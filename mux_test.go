@@ -211,7 +211,7 @@ func muxRawNegotiate(t *testing.T, conn net.Conn, local []uint64, opt *Options, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	is, opening, err := ss.newFastInitiatorSessionFeatures(ss.opt, nil, "", 32, features)
+	is, opening, err := ss.newFastInitiatorSessionFeatures(ss.opt, nil, "", 32, features, true)
 	if err != nil {
 		t.Fatal(err)
 	}

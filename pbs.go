@@ -200,6 +200,11 @@ type Result struct {
 	// EstimatorBytes is the one-way cost of the ToW estimate exchange
 	// (0 when KnownD is used). The paper accounts it separately.
 	EstimatorBytes int
+	// Replans counts rounds whose parameters the adaptive controller
+	// re-derived away from the static plan (see WithAdaptive). Always 0
+	// when adaptive mode was off, not granted by the peer, or the session
+	// finished in one round.
+	Replans int
 }
 
 // Reconcile learns local △ remote. It simulates both endpoints in process,

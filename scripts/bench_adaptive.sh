@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench_adaptive.sh — prove the online adaptive controller earns its keep:
+# over real wire syncs (Set.Sync vs Set.Respond on net.Pipe), a warm
+# adaptive Set with zero hand-set KnownD must spend no more wire bytes AND
+# no more mean rounds per sync than the paper-fixed configuration (fresh
+# Set per sync, WithAdaptive(false), stock DefaultSpeculativeD) at every
+# difference size. Emits the comparison table to BENCH_adaptive.json.
+#
+# Usage:
+#   scripts/bench_adaptive.sh [dmax] [syncs] [sizeA]
+#
+# Defaults run the full table (d in {10, 100, 1000, 10000}, 8 syncs per
+# arm at |A| = 20000). The CI smoke pass trims it to the small regimes:
+# `scripts/bench_adaptive.sh 100 6 8000`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dmax="${1:-10000}"
+syncs="${2:-8}"
+size="${3:-20000}"
+out="BENCH_adaptive.json"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/pbs-experiments" ./cmd/pbs-experiments
+"$tmp/pbs-experiments" -exp adaptive \
+  -instances "$syncs" -sizeA "$size" -dmax "$dmax" -json "$out"
+
+python3 - "$out" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+pts = rep["points"]
+assert pts, "no data points"
+for p in pts:
+    d = p["d"]
+    assert p["adaptive_bytes"] <= p["fixed_bytes"], \
+        f"d={d}: adaptive put {p['adaptive_bytes']:.0f}B on the wire, fixed {p['fixed_bytes']:.0f}B"
+    assert p["adaptive_rounds"] <= p["fixed_rounds"], \
+        f"d={d}: adaptive used {p['adaptive_rounds']:.2f} mean rounds, fixed {p['fixed_rounds']:.2f}"
+    print(f"d={d}: bytes {p['adaptive_bytes']:.0f} <= {p['fixed_bytes']:.0f}, "
+          f"rounds {p['adaptive_rounds']:.2f} <= {p['fixed_rounds']:.2f}, "
+          f"{p['replans_per_sync']:.2f} replans/sync")
+print("bench_adaptive OK: adaptive <= paper-fixed on wire bytes and mean rounds at every d")
+EOF

@@ -93,6 +93,13 @@ type Server struct {
 	streamsTotal atomic.Int64
 	bytesSaved   atomic.Int64
 
+	// Adaptive-controller accounting across completed sessions: rounds
+	// served under re-planned (m, t) parameters, and fast hellos whose
+	// speculative round was answered in the opening reply (the initiator's
+	// learned d̂ prior sized it right).
+	adaptiveReplans atomic.Int64
+	priorHits       atomic.Int64
+
 	// Per-completed-session distributions (see ServerStats): wall-clock
 	// latency in microseconds, protocol rounds, and wire bytes. Striped
 	// atomics — recording is one atomic add, safe from every connection
@@ -295,6 +302,16 @@ type ServerStats struct {
 	StreamsOpen           int64 // mux streams currently open across all connections
 	StreamsTotal          int64 // mux streams ever opened
 	BytesSavedCompression int64 // wire bytes saved by negotiated lz compression, both directions
+
+	// Adaptive-controller counters over completed sessions. AdaptiveReplans
+	// is the total number of rounds served under (m, t) parameters the
+	// adaptive controller re-derived away from the static plan; PriorHits
+	// counts fast hellos whose speculative round was answered in the
+	// opening reply — i.e. syncs where the initiator's learned d̂ prior (or
+	// an explicit KnownD) sized the speculation right and the session
+	// completed its first round in a single round trip.
+	AdaptiveReplans int64
+	PriorHits       int64
 
 	// Hosted-set registry counters. SetsHosted counts every registered set
 	// (hosted or not); the rest cover the hosted layer: sets currently
@@ -602,6 +619,8 @@ func (s *Server) Stats() ServerStats {
 		StreamsOpen:           s.streamsOpen.Load(),
 		StreamsTotal:          s.streamsTotal.Load(),
 		BytesSavedCompression: s.bytesSaved.Load(),
+		AdaptiveReplans:       s.adaptiveReplans.Load(),
+		PriorHits:             s.priorHits.Load(),
 		LatencyUS:             summarize(s.latencyHist.Snapshot()),
 		SessionRounds:         summarize(s.roundsHist.Snapshot()),
 		SessionBytes:          summarize(s.bytesHist.Snapshot()),
@@ -952,6 +971,10 @@ func (s *Server) handle(conn net.Conn) {
 			if sess.started() {
 				s.completed.Add(1)
 				s.rounds.Add(int64(sess.Rounds()))
+				s.adaptiveReplans.Add(int64(sess.adaptiveReplans()))
+				if sess.specAccepted {
+					s.priorHits.Add(1)
+				}
 				hint := uint64(cur)
 				s.latencyHist.Record(hint, time.Since(sessStart).Microseconds())
 				s.roundsHist.Record(hint, int64(sess.Rounds()))
@@ -1228,6 +1251,10 @@ func (s *Server) muxLoop(conn net.Conn, buf *[]byte, cur int64, first *srvStream
 			if st.sess.started() {
 				s.completed.Add(1)
 				s.rounds.Add(int64(st.sess.Rounds()))
+				s.adaptiveReplans.Add(int64(st.sess.adaptiveReplans()))
+				if st.sess.specAccepted {
+					s.priorHits.Add(1)
+				}
 				hint := uint64(cur)
 				s.latencyHist.Record(hint, time.Since(st.start).Microseconds())
 				s.roundsHist.Record(hint, int64(st.sess.Rounds()))

@@ -115,6 +115,12 @@ type InitiatorSession struct {
 	// zero keeps the hello at version 1 and the wire bytes legacy-identical.
 	features uint64
 
+	// wantAdaptive records that the fast hello offered adaptive round
+	// re-planning; adaptive records the responder's grant, under which both
+	// endpoints re-derive (m, t) per round from the Markov occupancy model.
+	wantAdaptive bool
+	adaptive     bool
+
 	res *Result
 }
 
@@ -177,15 +183,18 @@ func (ss *SharedSet) newInitiatorSession(opt Options, onDelta func(elems []uint6
 // declines re-plans from the true d̂, exactly like the legacy flow but
 // one round trip earlier. opt's constraints match newInitiatorSession.
 func (ss *SharedSet) newFastInitiatorSession(opt Options, onDelta func(elems []uint64, round int), name string, specD uint64) (*InitiatorSession, []Frame, error) {
-	return ss.newFastInitiatorSessionFeatures(opt, onDelta, name, specD, 0)
+	return ss.newFastInitiatorSessionFeatures(opt, onDelta, name, specD, 0, true)
 }
 
 // newFastInitiatorSessionFeatures is newFastInitiatorSession with a
 // protocol-feature request folded into the hello. A non-zero features
 // bitmap upgrades the hello to version 2 (want-flags in the existing flags
 // field — zero extra round trips); features == 0 produces a version-1
-// hello byte-identical to the pre-mux wire format.
-func (ss *SharedSet) newFastInitiatorSessionFeatures(opt Options, onDelta func(elems []uint64, round int), name string, specD uint64, features uint64) (*InitiatorSession, []Frame, error) {
+// hello byte-identical to the pre-mux wire format. adaptive offers the
+// peer adaptive round re-planning (on by default through every fast-path
+// entry point; WithAdaptive(false) is the opt-out) — the offer itself is
+// one flag bit and changes nothing until the peer grants it.
+func (ss *SharedSet) newFastInitiatorSessionFeatures(opt Options, onDelta func(elems []uint64, round int), name string, specD uint64, features uint64, adaptive bool) (*InitiatorSession, []Frame, error) {
 	if specD < 1 {
 		specD = 1
 	}
@@ -216,22 +225,24 @@ func (ss *SharedSet) newFastInitiatorSessionFeatures(opt Options, onDelta func(e
 		version = fastProtoVersionMux
 	}
 	hello := appendFastHello(nil, fastHello{
-		version:    version,
-		wantDigest: opt.StrongVerify,
-		features:   features,
-		name:       name,
-		specD:      specD,
-		sketches:   est,
-		round1:     round1,
+		version:      version,
+		wantDigest:   opt.StrongVerify,
+		wantAdaptive: adaptive,
+		features:     features,
+		name:         name,
+		specD:        specD,
+		sketches:     est,
+		round1:       round1,
 	})
 	s := &InitiatorSession{
-		opt:      opt,
-		shared:   ss,
-		onDelta:  onDelta,
-		state:    initWantHelloReply,
-		alice:    alice,
-		plan:     plan,
-		features: features,
+		opt:          opt,
+		shared:       ss,
+		onDelta:      onDelta,
+		state:        initWantHelloReply,
+		alice:        alice,
+		plan:         plan,
+		features:     features,
+		wantAdaptive: adaptive,
 		// The hello envelope (version, flags, name, d_spec, sketch) is
 		// estimator overhead; the round-1 bytes are round traffic.
 		estBytes:      len(hello) - len(round1),
@@ -331,6 +342,10 @@ func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if max := s.opt.maxD(); rep.dhat > max {
 			return nil, false, fmt.Errorf("pbs: peer estimate d̂ = %d exceeds limit %d", rep.dhat, max)
 		}
+		if rep.adaptive && !s.wantAdaptive {
+			return nil, false, fmt.Errorf("pbs: peer granted adaptive re-planning without an offer")
+		}
+		s.adaptive = rep.adaptive
 		if rep.digest != nil {
 			theirs, ok := msethash.DigestFromBytes(rep.digest)
 			if !ok {
@@ -341,6 +356,12 @@ func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		s.dhat = rep.dhat
 		s.estBytes += len(payload) - len(rep.roundReply)
 		if rep.answered {
+			if s.adaptive {
+				// Round 1 went out before the grant existed (always static);
+				// enabling here makes every round from 2 on carry re-planned
+				// (m, t) parameters, mirroring the responder exactly.
+				s.alice.EnableAdaptive()
+			}
 			if err := s.alice.AbsorbReply(rep.roundReply); err != nil {
 				return nil, false, err
 			}
@@ -359,6 +380,12 @@ func (s *InitiatorSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		alice, err := core.NewAliceFromSnapshot(s.shared.snap, plan)
 		if err != nil {
 			return nil, false, err
+		}
+		if s.adaptive {
+			// The fresh endpoint restarts its round numbering at 1, so its
+			// first message is static and re-planning engages from round 2 —
+			// the same rule the responder's fresh Bob applies.
+			alice.EnableAdaptive()
 		}
 		if s.onDelta != nil {
 			alice.OnVerifiedDelta(s.onDelta)
@@ -417,6 +444,7 @@ func (s *InitiatorSession) finish() ([]Frame, bool, error) {
 		PayloadBytes:   (s.alice.PayloadBits() + s.specBits + 7) / 8,
 		WireBytes:      (s.aliceWireBits+s.bobWireBits)/8 + s.estBytes,
 		EstimatorBytes: s.estBytes,
+		Replans:        s.alice.Replans(),
 	}
 	if s.opt.StrongVerify && s.res.Complete {
 		if s.haveDigest {
@@ -486,6 +514,13 @@ type SharedSet struct {
 
 	digestOnce sync.Once
 	digest     msethash.Digest
+
+	// observeDhat, when set, is invoked with every difference estimate d̂
+	// this set answers (msgEstimate and fast hellos alike). The hosted
+	// layer uses it to feed the per-set learned d̂ prior that is persisted
+	// in the segment footer. It must be safe for concurrent use and must
+	// not block — it runs on session goroutines.
+	observeDhat func(dhat uint64)
 }
 
 // newLazySharedSet builds a SharedSet whose ToW sketch and verification
@@ -639,6 +674,18 @@ type ResponderSession struct {
 	// value declines every offer, which downgrades the reply to version 1.
 	allowFeatures uint64
 	granted       uint64
+
+	// adaptive records a granted adaptive-re-planning offer. Unlike the
+	// feature bits above, the grant is unconditional and identical across
+	// every responder entry point (standalone, Set.Respond, Server) — it
+	// commits this side to nothing beyond parsing (m, t) round headers,
+	// and uniformity is what keeps the wire streams of all responder
+	// flavors byte-identical for a given initiator.
+	adaptive bool
+	// specAccepted records that the fast hello's speculative round was
+	// answered in the opening reply — the initiator's d̂ prior (or KnownD)
+	// sized it right. The Server counts these as ServerStats.PriorHits.
+	specAccepted bool
 }
 
 // grantedFeatures reports the feature bitmap granted to the initiator's
@@ -684,6 +731,9 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		if err != nil {
 			return nil, false, err
 		}
+		if fn := s.shared.observeDhat; fn != nil {
+			fn(dhat)
+		}
 		plan, err := syncPlan(dhat, s.opt)
 		if err != nil {
 			return nil, false, err
@@ -728,6 +778,10 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		// also keeps a forged d_spec from buying the DoS allocation MaxD
 		// exists to prevent.
 		accepted := h.specD <= s.opt.maxD() && fastSpecAccepted(h.specD, dhat)
+		s.adaptive = h.wantAdaptive
+		if fn := s.shared.observeDhat; fn != nil {
+			fn(dhat)
+		}
 		planD := dhat
 		if accepted {
 			planD = h.specD
@@ -738,7 +792,7 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 		}
 		s.plan = plan
 		s.estimated = true
-		rep := fastHelloReply{version: fastProtoVersion, dhat: dhat}
+		rep := fastHelloReply{version: fastProtoVersion, dhat: dhat, adaptive: s.adaptive}
 		if h.version == fastProtoVersionMux {
 			// Feature grant: the intersection of what the peer offered and
 			// what our driver allows (the Server sets allowFeatures on the
@@ -768,6 +822,7 @@ func (s *ResponderSession) Step(typ byte, payload []byte) (out []Frame, done boo
 			s.rounds++
 			rep.answered = true
 			rep.roundReply = reply
+			s.specAccepted = true
 		}
 		if h.wantDigest {
 			rep.digest = s.shared.verifyDigest().Bytes()
@@ -817,8 +872,22 @@ func (s *ResponderSession) materialize() error {
 	if err != nil {
 		return err
 	}
+	if s.adaptive {
+		bob.EnableAdaptive()
+	}
 	s.bob = bob
 	return nil
+}
+
+// adaptiveReplans reports how many served rounds ran under parameters
+// re-planned away from the static plan — 0 for sessions that never
+// negotiated adaptive mode (or never decoded a round). The Server
+// aggregates it into ServerStats.AdaptiveReplans.
+func (s *ResponderSession) adaptiveReplans() int {
+	if s.bob == nil {
+		return 0
+	}
+	return s.bob.Replans()
 }
 
 // Rounds returns the number of rounds answered so far.

@@ -50,6 +50,14 @@ type Set struct {
 	// loser and hopping to a nearby bound re-rolls the partition instead.
 	specAvoid atomic.Uint64
 
+	// prior is the learned EWMA over realized difference cardinalities,
+	// fed by every completed sync and consulted by the adaptive controller
+	// (see WithAdaptive) to size speculation and select estimators. It
+	// subsumes specPrior's single-outcome memory with a smoothed regime
+	// estimate; specPrior stays as the legacy heuristic's input and the
+	// adaptive path's most-recent-outcome floor.
+	prior dhatPrior
+
 	mu    sync.RWMutex
 	elems map[uint64]struct{}
 	// sketch is the incrementally maintained ToW sketch, built on the
@@ -69,6 +77,9 @@ type setConfig struct {
 	onDelta  func(elems []uint64, round int)
 	setName  string
 	fastSync bool
+	// adaptiveOff inverts WithAdaptive so the zero value keeps the
+	// adaptive controller on by default.
+	adaptiveOff bool
 
 	maxSessions       int
 	idleTimeout       time.Duration
@@ -468,8 +479,8 @@ func (s *Set) syncAttempt(ctx context.Context, conn io.ReadWriter, cfg *setConfi
 	}
 	var res *Result
 	if cfg.fastSync {
-		spec := s.speculativeD(cfg.opt)
-		is, opening, err := ss.newFastInitiatorSessionFeatures(cfg.opt, cfg.onDelta, cfg.setName, spec, features)
+		spec := s.adaptiveSpeculativeD(cfg)
+		is, opening, err := ss.newFastInitiatorSessionFeatures(cfg.opt, cfg.onDelta, cfg.setName, spec, features, !cfg.adaptiveOff)
 		if err != nil {
 			return nil, err
 		}
@@ -506,8 +517,11 @@ func (s *Set) syncAttempt(ctx context.Context, conn io.ReadWriter, cfg *setConfi
 		}
 	}
 	if res != nil && res.Complete {
-		// Remember the outcome to size the next fast sync's speculation.
+		// Remember the outcome to size the next fast sync's speculation:
+		// the raw value for the legacy heuristic, and folded into the
+		// learned EWMA prior the adaptive controller predicts from.
 		s.specPrior.Store(uint64(len(res.Difference)) + 1)
+		s.prior.observe(float64(len(res.Difference)))
 	}
 	return res, nil
 }
@@ -633,6 +647,16 @@ func (s *Set) Reconcile(ctx context.Context, other *Set, opts ...Option) (*Resul
 		if err != nil {
 			return nil, err
 		}
+		// Automatic estimator selection: when the learned prior says this
+		// handle's differences run large, the plan derived from a single
+		// ToW draw is expensive to get wrong — cross-check against the
+		// Strata and MinWise families and take the median. In-process
+		// only; wire sessions always exchange ToW sketches.
+		if !cfg.adaptiveOff {
+			if pd, ok := s.prior.predict(); ok && pd >= adaptiveLargeD {
+				dhat = crossCheckedEstimate(dhat, cfg.opt, mine, remote)
+			}
+		}
 		d = estimator.ConservativeD(dhat, cfg.opt.Gamma)
 		n := mine.Len()
 		if remote.Len() > n {
@@ -658,6 +682,9 @@ func (s *Set) Reconcile(ctx context.Context, other *Set, opts ...Option) (*Resul
 	res, err := core.DriveContext(ctx, alice, bob, plan.MaxRounds)
 	if err != nil {
 		return nil, err
+	}
+	if res.Complete {
+		s.prior.observe(float64(len(res.Difference)))
 	}
 	return &Result{
 		Difference:     res.Difference,

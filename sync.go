@@ -334,15 +334,27 @@ func decodeSketches(b []byte) ([]int64, error) {
 //	msgHelloReplyV1: version | flags | d̂ | [len(digest) digest] |
 //	                 round-1 reply
 const (
-	fastHelloFlagWantDigest = 1 << 0 // initiator asks for the verify digest
-	fastHelloFlagWantMux    = 1 << 1 // v2: initiator offers stream multiplexing
-	fastHelloFlagWantLZ     = 1 << 2 // v2: initiator offers lz frame compression
+	fastHelloFlagWantDigest   = 1 << 0 // initiator asks for the verify digest
+	fastHelloFlagWantMux      = 1 << 1 // v2: initiator offers stream multiplexing
+	fastHelloFlagWantLZ       = 1 << 2 // v2: initiator offers lz frame compression
+	fastHelloFlagWantAdaptive = 1 << 3 // initiator offers adaptive round re-planning
 
 	fastReplyFlagAnswered = 1 << 0 // the speculative round was answered
 	fastReplyFlagDigest   = 1 << 1 // a verification digest is attached
 	fastReplyFlagMux      = 1 << 2 // v2: responder granted multiplexing
 	fastReplyFlagLZ       = 1 << 3 // v2: responder granted lz compression
+	fastReplyFlagAdaptive = 1 << 4 // responder granted adaptive round re-planning
 )
+
+// Adaptive round re-planning is negotiated in the same hello exchange but
+// independently of the version-2 feature bits: it needs no mux envelope,
+// so it works on a plain version-1 fast session. The grant is carried as a
+// reply flag rather than a feature bit because version-1 replies must keep
+// an empty feature set (initiators reject anything else). Peers that
+// predate the flag ignore unknown bits on both sides, so the offer
+// degrades to a static-plan session, never an error. Once granted, every
+// round message with round number ≥ 2 carries a re-derived (m, t) header —
+// see internal/core's adaptive round format.
 
 // maxFastNameLen bounds the set name carried in a fast hello (the legacy
 // msgHello is implicitly bounded by the frame limit; here the name shares
@@ -352,13 +364,14 @@ const maxFastNameLen = 1 << 10
 // fastHello is the decoded form of a msgHelloV1 payload. Byte-slice
 // fields alias the frame payload; Step consumes them before returning.
 type fastHello struct {
-	version    uint64
-	wantDigest bool
-	features   uint64 // requested feature bits (featureMux | featureLZ), v2 only
-	name       string
-	specD      uint64 // speculative difference bound the round was sized for
-	sketches   []byte // encodeSketches form
-	round1     []byte // Alice's round 1 built under plan(specD)
+	version      uint64
+	wantDigest   bool
+	wantAdaptive bool   // initiator offers adaptive round re-planning
+	features     uint64 // requested feature bits (featureMux | featureLZ), v2 only
+	name         string
+	specD        uint64 // speculative difference bound the round was sized for
+	sketches     []byte // encodeSketches form
+	round1       []byte // Alice's round 1 built under plan(specD)
 }
 
 func appendFastHello(dst []byte, h fastHello) []byte {
@@ -366,6 +379,9 @@ func appendFastHello(dst []byte, h fastHello) []byte {
 	var flags uint64
 	if h.wantDigest {
 		flags |= fastHelloFlagWantDigest
+	}
+	if h.wantAdaptive {
+		flags |= fastHelloFlagWantAdaptive
 	}
 	if h.features&featureMux != 0 {
 		flags |= fastHelloFlagWantMux
@@ -413,6 +429,7 @@ func parseFastHello(b []byte) (h fastHello, err error) {
 		return fastHello{}, err
 	}
 	h.wantDigest = flags&fastHelloFlagWantDigest != 0
+	h.wantAdaptive = flags&fastHelloFlagWantAdaptive != 0
 	if flags&fastHelloFlagWantMux != 0 {
 		h.features |= featureMux
 	}
@@ -449,6 +466,7 @@ func fastHelloSetName(b []byte) (string, error) {
 type fastHelloReply struct {
 	version    uint64
 	answered   bool
+	adaptive   bool   // responder granted adaptive round re-planning
 	features   uint64 // granted feature bits, v2 only (subset of the request)
 	dhat       uint64 // true estimate from the piggybacked sketches
 	digest     []byte // nil, or the strong-verification digest
@@ -463,6 +481,9 @@ func appendFastHelloReply(dst []byte, r fastHelloReply) []byte {
 	}
 	if r.digest != nil {
 		flags |= fastReplyFlagDigest
+	}
+	if r.adaptive {
+		flags |= fastReplyFlagAdaptive
 	}
 	if r.features&featureMux != 0 {
 		flags |= fastReplyFlagMux
@@ -488,6 +509,7 @@ func parseFastHelloReply(b []byte) (r fastHelloReply, err error) {
 		return fastHelloReply{}, err
 	}
 	r.answered = flags&fastReplyFlagAnswered != 0
+	r.adaptive = flags&fastReplyFlagAdaptive != 0
 	if flags&fastReplyFlagMux != 0 {
 		r.features |= featureMux
 	}
